@@ -1,0 +1,112 @@
+// Command characterize runs the measurement pipeline of paper §3-§4 on
+// a simulated campaign and emits plot-ready CSV series: per-service
+// traffic volume PDFs over log10(bytes), duration-volume pairs, and the
+// per-minute arrival count histograms per BS load decile.
+//
+// Output sections are separated by lines starting with '#'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"mobiletraffic/internal/experiments"
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+)
+
+func main() {
+	var (
+		numBS    = flag.Int("bs", 40, "number of simulated base stations")
+		days     = flag.Int("days", 7, "number of simulated days")
+		seed     = flag.Int64("seed", 1, "master random seed")
+		services = flag.String("services", "Netflix,Twitch,Deezer,Amazon,Pokemon GO,Waze",
+			"comma-separated services to characterize")
+		deciles = flag.String("deciles", "0,3,6,9", "comma-separated BS load deciles for arrival PDFs")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days)...\n", *numBS, *days)
+	env, err := experiments.NewEnv(experiments.Config{NumBS: *numBS, Days: *days, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Per-service volume PDFs and duration-volume pairs.
+	for _, name := range strings.Split(*services, ",") {
+		name = strings.TrimSpace(name)
+		svc := -1
+		for i, p := range env.Catalog {
+			if p.Name == name {
+				svc = i
+				break
+			}
+		}
+		if svc < 0 {
+			fatal(fmt.Errorf("unknown service %q", name))
+		}
+		h, weight, err := env.Coll.AggregateVolume(probe.ForService(svc))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# volume_pdf service=%q sessions=%.0f (columns: log10_bytes,probability)\n", name, weight)
+		centers := h.Centers()
+		for i, c := range centers {
+			if h.P[i] > 0 {
+				fmt.Printf("%.3f,%.6g\n", c, h.P[i])
+			}
+		}
+		values, counts, err := env.Coll.AggregatePairs(probe.ForService(svc))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# duration_volume_pairs service=%q (columns: duration_s,mean_bytes,sessions)\n", name)
+		durations := env.Coll.DurationCenters()
+		for i := range values {
+			if !math.IsNaN(values[i]) && counts[i] > 0 {
+				fmt.Printf("%.2f,%.6g,%.0f\n", durations[i], values[i], counts[i])
+			}
+		}
+	}
+
+	// Arrival count histograms per requested decile.
+	for _, d := range strings.Split(*deciles, ",") {
+		var decile int
+		if _, err := fmt.Sscanf(strings.TrimSpace(d), "%d", &decile); err != nil || decile < 0 || decile > 9 {
+			fatal(fmt.Errorf("bad decile %q", d))
+		}
+		filter := probe.BSIn(env.Topo.ByDecile(decile))
+		peak := env.Coll.MinuteCountSamples(filter, netsim.IsPeakMinute)
+		off := env.Coll.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
+		m := env.Arrivals[decile]
+		fmt.Printf("# arrivals decile=%d peak_mu=%.3f peak_sigma=%.3f pareto_scale=%.3f pareto_shape=%.3f (columns: phase,sessions_per_minute,count)\n",
+			decile+1, m.PeakMu, m.PeakSigma, m.OffScale, m.OffShape)
+		emitCounts := func(phase string, samples []float64) {
+			hist := map[int]int{}
+			for _, s := range samples {
+				hist[int(s)]++
+			}
+			max := 0
+			for k := range hist {
+				if k > max {
+					max = k
+				}
+			}
+			for k := 0; k <= max; k++ {
+				if hist[k] > 0 {
+					fmt.Printf("%s,%d,%d\n", phase, k, hist[k])
+				}
+			}
+		}
+		emitCounts("peak", peak)
+		emitCounts("offpeak", off)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command modelinfo prints a human-readable model card for a released
+// session-level parameter file (the JSON produced by
+// `sessiongen -dump-models`), validates it, and optionally compares it
+// against a second parameter file to quantify model drift.
+//
+// Usage:
+//
+//	modelinfo params.json
+//	modelinfo -compare old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mobiletraffic"
+	"mobiletraffic/internal/core"
+)
+
+func main() {
+	compare := flag.Bool("compare", false, "compare two parameter files (old new)")
+	flag.Parse()
+
+	args := flag.Args()
+	if *compare {
+		if len(args) != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two files, got %d", len(args)))
+		}
+		old, err := load(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		neu, err := load(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		cmp, err := core.CompareModelSets(old, neu)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model drift %s -> %s\n", args[0], args[1])
+		fmt.Printf("common services: %d, only in old: %v, only in new: %v\n",
+			len(cmp.Deltas), cmp.OnlyInA, cmp.OnlyInB)
+		fmt.Printf("median |d mu| %.4g decades, median |d beta| %.4g\n\n", cmp.MedianDeltaMu, cmp.MedianDeltaBeta)
+		fmt.Printf("%-18s %8s %8s %10s %9s\n", "service", "|d mu|", "|d beta|", "alpha x", "|d share|")
+		for _, d := range cmp.Deltas {
+			fmt.Printf("%-18s %8.3f %8.3f %10.2f %9.4f\n",
+				d.Name, d.DeltaMu, d.DeltaBeta, d.AlphaRatio, d.ShareDelta)
+		}
+		return
+	}
+
+	if len(args) != 1 {
+		fatal(fmt.Errorf("need exactly one parameter file, got %d", len(args)))
+	}
+	set, err := load(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model card: %s\n", args[0])
+	fmt.Printf("services: %d, arrival classes: %d\n\n", len(set.Services), len(set.Arrivals))
+	if len(set.Arrivals) > 0 {
+		fmt.Println("arrival model per BS load class (sessions/minute):")
+		for i, a := range set.Arrivals {
+			fmt.Printf("  class %2d: day N(%.2f, %.2f), night Pareto(b=%.3f, s=%.2f)\n",
+				i+1, a.PeakMu, a.PeakSigma, a.OffShape, a.OffScale)
+		}
+		fmt.Println()
+	}
+	models := append([]mobiletraffic.ServiceModel(nil), set.Services...)
+	sort.SliceStable(models, func(i, j int) bool { return models[i].SessionShare > models[j].SessionShare })
+	fmt.Printf("%-18s %7s %16s %5s %9s %6s %8s %9s\n",
+		"service", "share", "volume mu/sigma", "peaks", "alpha", "beta", "dur R2", "vol EMD")
+	for _, m := range models {
+		fmt.Printf("%-18s %6.2f%% %8.2f / %5.2f %5d %9.3g %6.2f %8.2f %9.2g\n",
+			m.Name, m.SessionShare*100, m.Volume.MainMu, m.Volume.MainSigma,
+			len(m.Volume.Peaks), m.Duration.Alpha, m.Duration.Beta, m.Duration.R2, m.VolumeEMD)
+	}
+	// Basic validation warnings.
+	var warned bool
+	for _, m := range models {
+		if m.Volume.MainSigma <= 0 || m.Duration.Beta == 0 {
+			fmt.Fprintf(os.Stderr, "warning: %s has degenerate parameters\n", m.Name)
+			warned = true
+		}
+		if len(m.Volume.Peaks) > 3 {
+			fmt.Fprintf(os.Stderr, "warning: %s exceeds the 3-peak cap\n", m.Name)
+			warned = true
+		}
+	}
+	if !warned {
+		fmt.Println("\nall parameter tuples pass validation")
+	}
+}
+
+func load(path string) (*mobiletraffic.ModelSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mobiletraffic.LoadModels(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "modelinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command sessiongen generates synthetic session-level mobile traffic
+// traces from the paper's models (§5.4).
+//
+// It either fits a fresh model set on the bundled measurement
+// simulation (default) or loads released parameters from a JSON file
+// (-models). The generated trace lists one session per line with its
+// establishment time, service, volume, duration and mean throughput.
+//
+// Examples:
+//
+//	sessiongen -minutes 60 -class 9 > trace.csv
+//	sessiongen -dump-models > params.json
+//	sessiongen -models params.json -minutes 1440 -format json > day.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobiletraffic"
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/trace"
+)
+
+func main() {
+	var (
+		modelsPath = flag.String("models", "", "load released model parameters from this JSON file (default: fit on the bundled simulation)")
+		dumpModels = flag.Bool("dump-models", false, "print the model parameter JSON instead of a trace")
+		minutes    = flag.Int("minutes", 60, "minutes of traffic to generate")
+		startMin   = flag.Int("start", 8*60, "starting minute of day (determines day/night arrival mode)")
+		class      = flag.Int("class", 9, "BS load class (decile index 0-9)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		format     = flag.String("format", "csv", "output format: csv or json")
+		fitBS      = flag.Int("fit-bs", 20, "base stations in the fitting simulation")
+		fitDays    = flag.Int("fit-days", 3, "days in the fitting simulation")
+	)
+	flag.Parse()
+
+	var set *mobiletraffic.ModelSet
+	if *modelsPath != "" {
+		f, err := os.Open(*modelsPath)
+		if err != nil {
+			fatal(err)
+		}
+		set, err = mobiletraffic.LoadModels(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "fitting models on the bundled measurement simulation...")
+		var err error
+		set, err = mobiletraffic.FitFromSimulation(mobiletraffic.SimulationConfig{
+			NumBS: *fitBS, Days: *fitDays, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *dumpModels {
+		if err := mobiletraffic.SaveModels(set, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	gen, err := mobiletraffic.NewGenerator(set, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *class < 0 || *class >= len(set.Arrivals) {
+		fatal(fmt.Errorf("class %d out of range [0, %d)", *class, len(set.Arrivals)))
+	}
+
+	tf, err := trace.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := trace.NewWriter(os.Stdout, tf)
+	if err != nil {
+		fatal(err)
+	}
+	for m := 0; m < *minutes; m++ {
+		minuteOfDay := (*startMin + m) % (24 * 60)
+		peak := netsim.IsDaytime(minuteOfDay)
+		sessions, err := gen.Minute(*class, peak)
+		if err != nil {
+			fatal(err)
+		}
+		for i, s := range sessions {
+			err := w.Write(trace.Record{
+				TimeS:      float64(m)*60 + float64(i)*60/float64(len(sessions)+1),
+				Service:    s.Service,
+				Bytes:      s.Volume,
+				DurationS:  s.Duration,
+				Throughput: s.Throughput,
+			})
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d sessions over %d minutes (class %d)\n", w.Count(), *minutes, *class)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sessiongen:", err)
+	os.Exit(1)
+}

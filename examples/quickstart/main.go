@@ -1,0 +1,64 @@
+// Quickstart: fit session-level traffic models on the bundled
+// measurement simulation, inspect the released parameter tuple of one
+// service, and generate a minute of synthetic traffic.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiletraffic"
+)
+
+func main() {
+	// Fit the complete model set (arrival models per BS load decile,
+	// volume mixture + duration power law per service) on a small
+	// simulated measurement campaign. With access to real session
+	// observations you would call mobiletraffic.FitFromObservations
+	// instead.
+	set, err := mobiletraffic.FitFromSimulation(mobiletraffic.SimulationConfig{
+		NumBS: 20, Days: 3, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted %d service models and %d arrival classes\n\n",
+		len(set.Services), len(set.Arrivals))
+
+	// The released parameter tuple of §5.4:
+	// [mu_s, sigma_s, {k_n, mu_n, sigma_n}_n, alpha_s, beta_s].
+	netflix, err := set.ByName("Netflix")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Netflix session-level model:")
+	fmt.Printf("  volume main trend: mu=%.2f sigma=%.2f (log10 bytes)\n",
+		netflix.Volume.MainMu, netflix.Volume.MainSigma)
+	for i, p := range netflix.Volume.Peaks {
+		fmt.Printf("  volume peak %d:     k=%.3f mu=%.2f sigma=%.2f\n", i+1, p.K, p.Mu, p.Sigma)
+	}
+	fmt.Printf("  duration power law: v(d) = %.3g * d^%.2f  (R2 %.2f)\n",
+		netflix.Duration.Alpha, netflix.Duration.Beta, netflix.Duration.R2)
+	fmt.Printf("  volume model EMD vs measurement: %.2g\n\n", netflix.VolumeEMD)
+
+	// Generate one busy-hour minute of traffic at a top-decile BS.
+	gen, err := mobiletraffic.NewGenerator(set, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessions, err := gen.Minute(9, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one peak minute at a top-decile BS: %d sessions\n", len(sessions))
+	for i, s := range sessions {
+		if i == 8 {
+			fmt.Printf("  ... and %d more\n", len(sessions)-8)
+			break
+		}
+		fmt.Printf("  %-14s %10.0f B over %8.1f s (%.1f kB/s)\n",
+			s.Service, s.Volume, s.Duration, s.Throughput/1000)
+	}
+}

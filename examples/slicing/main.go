@@ -1,0 +1,47 @@
+// Slicing: reproduce the §6.1 network-slicing capacity allocation study
+// — per-service SLAs dimensioned from the session-level models versus
+// the category-level literature benchmarks bm_a and bm_b.
+//
+// Run with: go run ./examples/slicing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobiletraffic/internal/experiments"
+)
+
+func main() {
+	fmt.Println("simulating the measurement campaign and fitting models...")
+	env, err := experiments.NewEnv(experiments.Config{NumBS: 20, Days: 7, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running the capacity allocation study (Table 2)...")
+	table2, err := experiments.ExpTable2(env, experiments.SlicingConfig{
+		Antennas: 6, Days: 3, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table2.Table().Render())
+
+	fig12, err := experiments.ExpFig12(env, experiments.SlicingConfig{
+		Antennas: 1, Days: 2, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxPeak float64
+	for _, v := range fig12.HourlyPeakDemand {
+		if v > maxPeak {
+			maxPeak = v
+		}
+	}
+	fmt.Printf("Facebook slice at one BS (Fig. 12): capacity %.3g B/min, max demand peak %.3g B/min, SLA satisfaction %.1f%%\n",
+		fig12.Capacity, maxPeak, fig12.Satisfied*100)
+	fmt.Println("\nExpected shape (paper): only the session-level models satisfy the 95% SLA;")
+	fmt.Println("the allocated capacity stays below the demand peaks instead of chasing bursts.")
+}

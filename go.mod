@@ -1,0 +1,3 @@
+module mobiletraffic
+
+go 1.22

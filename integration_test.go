@@ -1,0 +1,97 @@
+package mobiletraffic
+
+// End-to-end user journey over the public API: fit models on the
+// bundled measurement simulation, round-trip the released parameters
+// through JSON, generate a traffic trace, round-trip the trace through
+// the interchange format, and sanity-check the aggregate statistics.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/trace"
+)
+
+func TestUserJourney(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// 1. Fit.
+	set, err := FitFromSimulation(SimulationConfig{NumBS: 14, Days: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Release and reload the parameters.
+	var params bytes.Buffer
+	if err := SaveModels(set, &params); err != nil {
+		t.Fatal(err)
+	}
+	released, err := LoadModels(&params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Generate two hours of traffic at a busy BS class from the
+	// reloaded parameters.
+	gen, err := NewGenerator(released, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.CSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for minute := 0; minute < 120; minute++ {
+		sessions, err := gen.Minute(8, netsim.IsDaytime(10*60+minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range sessions {
+			err := w.Write(trace.Record{
+				TimeS:      float64(minute)*60 + float64(i),
+				Service:    s.Service,
+				Bytes:      s.Volume,
+				DurationS:  s.Duration,
+				Throughput: s.Throughput,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() < 500 {
+		t.Fatalf("only %d sessions generated in two peak hours at class 9", w.Count())
+	}
+
+	// 4. The trace round-trips and its aggregate shape is sane.
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != w.Count() {
+		t.Fatalf("round trip lost records: %d vs %d", len(records), w.Count())
+	}
+	sum := trace.Summarize(records)
+	if sum.Services["Facebook"] == 0 {
+		t.Error("no Facebook sessions in a 2-hour busy trace")
+	}
+	// Facebook is the most frequent service, per Table 1.
+	for name, n := range sum.Services {
+		if n > sum.Services["Facebook"] {
+			t.Errorf("%s (%d) outranks Facebook (%d)", name, n, sum.Services["Facebook"])
+		}
+	}
+	// Throughput consistency survives both round trips.
+	for i, r := range records {
+		if math.Abs(r.Throughput-r.Bytes/r.DurationS)/math.Max(r.Throughput, 1) > 0.05 {
+			t.Fatalf("record %d throughput inconsistent: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package applayer implements the paper's stated future-work extension
+// (§7 and footnote 1): grouping individual transport-layer sessions
+// into application-layer sessions. A single application may establish
+// several transport sessions over time (e.g. a messaging app opening a
+// new flow per conversation) or in parallel (e.g. a download fanning
+// out connections); the paper models transport sessions only and leaves
+// the higher-layer relationship open. This package reconstructs
+// application-layer sessions from per-UE flow records by merging flows
+// of the same (UE, service) pair that overlap or follow each other
+// within an idle gap, and characterizes the resulting structure.
+package applayer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Flow is one transport-layer session attributed to a UE.
+type Flow struct {
+	UE      uint64
+	Service int
+	Start   float64 // seconds
+	End     float64 // seconds, >= Start
+	Volume  float64 // bytes
+}
+
+// AppSession is one reconstructed application-layer session: a maximal
+// group of same-(UE, service) flows chained by overlap or by gaps below
+// the idle threshold.
+type AppSession struct {
+	UE      uint64
+	Service int
+	Start   float64
+	End     float64
+	Volume  float64 // summed transport volumes
+	Flows   int     // transport sessions merged
+	// MaxParallel is the peak number of simultaneously open transport
+	// sessions within the group.
+	MaxParallel int
+}
+
+// Duration returns the application-session span in seconds.
+func (a *AppSession) Duration() float64 { return a.End - a.Start }
+
+// Group reconstructs application-layer sessions. idleGap is the maximum
+// silence (seconds) between consecutive flows of one application before
+// a new application session starts; it mirrors the service-specific
+// expiration timeouts the gateway probes use one layer down (§3.2).
+func Group(flows []Flow, idleGap float64) ([]AppSession, error) {
+	if idleGap < 0 {
+		return nil, fmt.Errorf("applayer: negative idle gap %v", idleGap)
+	}
+	for i, f := range flows {
+		if f.End < f.Start {
+			return nil, fmt.Errorf("applayer: flow %d ends (%v) before it starts (%v)", i, f.End, f.Start)
+		}
+		if f.Volume < 0 {
+			return nil, fmt.Errorf("applayer: flow %d has negative volume", i)
+		}
+	}
+	sorted := make([]Flow, len(flows))
+	copy(sorted, flows)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.UE != b.UE {
+			return a.UE < b.UE
+		}
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		return a.Start < b.Start
+	})
+
+	var out []AppSession
+	var group []Flow
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		out = append(out, buildSession(group))
+		group = group[:0]
+	}
+	for _, f := range sorted {
+		if len(group) > 0 {
+			prev := group[len(group)-1]
+			sameApp := prev.UE == f.UE && prev.Service == f.Service
+			// The group's horizon is the max End seen so far.
+			horizon := groupHorizon(group)
+			if !sameApp || f.Start > horizon+idleGap {
+				flush()
+			}
+		}
+		group = append(group, f)
+	}
+	flush()
+	return out, nil
+}
+
+// groupHorizon returns the latest end time in the group.
+func groupHorizon(group []Flow) float64 {
+	var h float64
+	for i, f := range group {
+		if i == 0 || f.End > h {
+			h = f.End
+		}
+	}
+	return h
+}
+
+func buildSession(group []Flow) AppSession {
+	s := AppSession{
+		UE:      group[0].UE,
+		Service: group[0].Service,
+		Start:   group[0].Start,
+		End:     group[0].End,
+		Flows:   len(group),
+	}
+	type edge struct {
+		t     float64
+		delta int
+	}
+	var edges []edge
+	for _, f := range group {
+		s.Volume += f.Volume
+		if f.Start < s.Start {
+			s.Start = f.Start
+		}
+		if f.End > s.End {
+			s.End = f.End
+		}
+		edges = append(edges, edge{f.Start, 1}, edge{f.End, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		// Close before open at equal times: back-to-back flows are
+		// sequential, not parallel.
+		return edges[i].delta < edges[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	s.MaxParallel = peak
+	return s
+}
+
+// Stats characterizes the reconstructed application layer.
+type Stats struct {
+	AppSessions int
+	// FlowsPerSession distribution.
+	MeanFlows float64
+	P95Flows  float64
+	// MaxParallel distribution.
+	MeanParallel float64
+	P95Parallel  float64
+	// MeanSpanRatio is the mean app-session duration divided by the
+	// summed durations of its flows; < 1 indicates parallel flows
+	// dominate, > 1 indicates idle gaps between sequential flows.
+	MeanSpanRatio float64
+}
+
+// Summarize computes aggregate statistics over app sessions, given the
+// original flows for span-ratio computation.
+func Summarize(sessions []AppSession, flows []Flow) (Stats, error) {
+	if len(sessions) == 0 {
+		return Stats{}, errors.New("applayer: no app sessions")
+	}
+	flowDur := map[[2]uint64]float64{} // (UE, service) -> summed flow durations
+	for _, f := range flows {
+		key := [2]uint64{f.UE, uint64(f.Service)}
+		flowDur[key] += f.End - f.Start
+	}
+	var nFlows, nPar, ratios []float64
+	spanByKey := map[[2]uint64]float64{}
+	for _, s := range sessions {
+		nFlows = append(nFlows, float64(s.Flows))
+		nPar = append(nPar, float64(s.MaxParallel))
+		key := [2]uint64{s.UE, uint64(s.Service)}
+		spanByKey[key] += s.Duration()
+	}
+	for key, span := range spanByKey {
+		if d := flowDur[key]; d > 0 {
+			ratios = append(ratios, span/d)
+		}
+	}
+	st := Stats{
+		AppSessions:  len(sessions),
+		MeanFlows:    mathx.Mean(nFlows),
+		P95Flows:     mathx.Quantile(nFlows, 0.95),
+		MeanParallel: mathx.Mean(nPar),
+		P95Parallel:  mathx.Quantile(nPar, 0.95),
+	}
+	if len(ratios) > 0 {
+		st.MeanSpanRatio = mathx.Mean(ratios)
+	}
+	return st, nil
+}

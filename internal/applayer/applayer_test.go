@@ -1,0 +1,233 @@
+package applayer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupSequentialWithinGap(t *testing.T) {
+	flows := []Flow{
+		{UE: 1, Service: 0, Start: 0, End: 10, Volume: 100},
+		{UE: 1, Service: 0, Start: 15, End: 25, Volume: 200}, // gap 5 <= 10
+		{UE: 1, Service: 0, Start: 50, End: 60, Volume: 300}, // gap 25 > 10
+	}
+	sessions, err := Group(flows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	first := sessions[0]
+	if first.Flows != 2 || first.Volume != 300 || first.Start != 0 || first.End != 25 {
+		t.Errorf("first session = %+v", first)
+	}
+	if first.MaxParallel != 1 {
+		t.Errorf("sequential flows parallelism = %d", first.MaxParallel)
+	}
+	if sessions[1].Flows != 1 || sessions[1].Volume != 300 {
+		t.Errorf("second session = %+v", sessions[1])
+	}
+}
+
+func TestGroupParallelFlows(t *testing.T) {
+	flows := []Flow{
+		{UE: 1, Service: 2, Start: 0, End: 100, Volume: 1},
+		{UE: 1, Service: 2, Start: 10, End: 50, Volume: 1},
+		{UE: 1, Service: 2, Start: 20, End: 40, Volume: 1},
+	}
+	sessions, err := Group(flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d", len(sessions))
+	}
+	if sessions[0].MaxParallel != 3 {
+		t.Errorf("max parallel = %d, want 3", sessions[0].MaxParallel)
+	}
+	if sessions[0].Duration() != 100 {
+		t.Errorf("duration = %v", sessions[0].Duration())
+	}
+}
+
+func TestGroupSeparatesUEsAndServices(t *testing.T) {
+	flows := []Flow{
+		{UE: 1, Service: 0, Start: 0, End: 10, Volume: 1},
+		{UE: 2, Service: 0, Start: 0, End: 10, Volume: 1},
+		{UE: 1, Service: 1, Start: 0, End: 10, Volume: 1},
+	}
+	sessions, err := Group(flows, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 3 {
+		t.Fatalf("sessions = %d, want 3 (distinct UE/service pairs)", len(sessions))
+	}
+}
+
+func TestGroupBackToBackNotParallel(t *testing.T) {
+	// A flow opening exactly when the previous closes is sequential.
+	flows := []Flow{
+		{UE: 1, Service: 0, Start: 0, End: 10, Volume: 1},
+		{UE: 1, Service: 0, Start: 10, End: 20, Volume: 1},
+	}
+	sessions, err := Group(flows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 || sessions[0].MaxParallel != 1 {
+		t.Fatalf("sessions = %+v", sessions)
+	}
+}
+
+func TestGroupLongFlowShadowsGaps(t *testing.T) {
+	// A long-lived flow keeps the app session open even when later
+	// short flows leave gaps between each other.
+	flows := []Flow{
+		{UE: 1, Service: 0, Start: 0, End: 1000, Volume: 1},
+		{UE: 1, Service: 0, Start: 100, End: 110, Volume: 1},
+		{UE: 1, Service: 0, Start: 500, End: 510, Volume: 1}, // gap from 110 huge, but horizon is 1000
+	}
+	sessions, err := Group(flows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1 (horizon rule)", len(sessions))
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	if _, err := Group(nil, -1); err == nil {
+		t.Error("negative gap must error")
+	}
+	if _, err := Group([]Flow{{Start: 10, End: 5, Volume: 1}}, 1); err == nil {
+		t.Error("inverted flow must error")
+	}
+	if _, err := Group([]Flow{{Start: 0, End: 5, Volume: -1}}, 1); err == nil {
+		t.Error("negative volume must error")
+	}
+	sessions, err := Group(nil, 1)
+	if err != nil || len(sessions) != 0 {
+		t.Errorf("empty input: %v, %d", err, len(sessions))
+	}
+}
+
+func TestGroupDoesNotModifyInput(t *testing.T) {
+	flows := []Flow{
+		{UE: 2, Service: 0, Start: 5, End: 6, Volume: 1},
+		{UE: 1, Service: 0, Start: 0, End: 1, Volume: 1},
+	}
+	if _, err := Group(flows, 1); err != nil {
+		t.Fatal(err)
+	}
+	if flows[0].UE != 2 {
+		t.Error("Group reordered its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	flows := []Flow{
+		{UE: 1, Service: 0, Start: 0, End: 10, Volume: 1},
+		{UE: 1, Service: 0, Start: 12, End: 22, Volume: 1},
+		{UE: 2, Service: 0, Start: 0, End: 5, Volume: 1},
+	}
+	sessions, err := Group(flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Summarize(sessions, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AppSessions != 2 {
+		t.Errorf("app sessions = %d", st.AppSessions)
+	}
+	if math.Abs(st.MeanFlows-1.5) > 1e-12 {
+		t.Errorf("mean flows = %v", st.MeanFlows)
+	}
+	// UE 1: span 22, flow durations 20 -> ratio 1.1; UE 2: 5/5 -> 1.
+	if math.Abs(st.MeanSpanRatio-1.05) > 1e-9 {
+		t.Errorf("mean span ratio = %v", st.MeanSpanRatio)
+	}
+	if _, err := Summarize(nil, nil); err == nil {
+		t.Error("empty sessions must error")
+	}
+}
+
+// Property: grouping conserves flow count and volume, and every app
+// session's span contains all its flows.
+func TestGroupConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		flows := make([]Flow, n)
+		var totalVol float64
+		for i := range flows {
+			start := rng.Float64() * 1000
+			flows[i] = Flow{
+				UE:      uint64(1 + rng.Intn(4)),
+				Service: rng.Intn(3),
+				Start:   start,
+				End:     start + rng.Float64()*100,
+				Volume:  1 + rng.Float64()*1000,
+			}
+			totalVol += flows[i].Volume
+		}
+		gap := rng.Float64() * 50
+		sessions, err := Group(flows, gap)
+		if err != nil {
+			return false
+		}
+		var gotFlows int
+		var gotVol float64
+		for _, s := range sessions {
+			gotFlows += s.Flows
+			gotVol += s.Volume
+			if s.MaxParallel < 1 || s.MaxParallel > s.Flows {
+				return false
+			}
+			if s.End < s.Start {
+				return false
+			}
+		}
+		return gotFlows == n && math.Abs(gotVol-totalVol) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a larger idle gap never yields more app sessions.
+func TestGroupMonotoneInGapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		flows := make([]Flow, n)
+		for i := range flows {
+			start := rng.Float64() * 500
+			flows[i] = Flow{
+				UE:      uint64(1 + rng.Intn(2)),
+				Service: rng.Intn(2),
+				Start:   start,
+				End:     start + rng.Float64()*50,
+				Volume:  1,
+			}
+		}
+		small, err := Group(flows, 5)
+		if err != nil {
+			return false
+		}
+		large, err := Group(flows, 50)
+		if err != nil {
+			return false
+		}
+		return len(large) <= len(small)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package cluster implements the centroid-linkage agglomerative
+// hierarchical clustering and silhouette scoring used by the paper's
+// quantitative service comparison (§4.3, Fig. 6): services are grouped
+// by the earth-mover distance between their normalized traffic volume
+// PDFs, merging the two closest PDFs into their weighted average
+// (Eq. 2) and recomputing distances from the merged centroid.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DistFunc returns the distance between two centroids.
+type DistFunc[T any] func(a, b T) (float64, error)
+
+// MergeFunc combines two centroids with the given weights into a new
+// centroid (for PDFs: the weighted mixture average of paper Eq. 2).
+type MergeFunc[T any] func(a, b T, wa, wb float64) (T, error)
+
+// Merge records one agglomeration step: nodes A and B (IDs) merged at
+// the given distance into a node with ID NewID. Leaf items have IDs
+// 0..n-1; internal nodes get IDs n, n+1, ...
+type Merge struct {
+	A, B     int
+	Distance float64
+	NewID    int
+}
+
+// Dendrogram is the full merge history of an agglomerative clustering
+// of n leaves; it contains exactly n-1 merges in non-decreasing
+// "discovery" order.
+type Dendrogram struct {
+	Leaves int
+	Merges []Merge
+}
+
+// Agglomerate hierarchically clusters items by repeatedly merging the
+// closest pair of active centroids. weights may be nil for uniform
+// weighting; it influences only how centroids are averaged.
+func Agglomerate[T any](items []T, weights []float64, dist DistFunc[T], merge MergeFunc[T]) (*Dendrogram, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, errors.New("cluster: no items")
+	}
+	if weights != nil && len(weights) != n {
+		return nil, fmt.Errorf("cluster: %d weights for %d items", len(weights), n)
+	}
+	type node struct {
+		id       int
+		centroid T
+		weight   float64
+	}
+	active := make([]node, 0, n)
+	for i, it := range items {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		active = append(active, node{id: i, centroid: it, weight: w})
+	}
+	d := &Dendrogram{Leaves: n}
+	nextID := n
+	for len(active) > 1 {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				dd, err := dist(active[i].centroid, active[j].centroid)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: distance: %w", err)
+				}
+				if dd < best {
+					best, bi, bj = dd, i, j
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		centroid, err := merge(a.centroid, b.centroid, a.weight, b.weight)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: merge: %w", err)
+		}
+		d.Merges = append(d.Merges, Merge{A: a.id, B: b.id, Distance: best, NewID: nextID})
+		// Remove bj first (it is the larger index), then bi.
+		active = append(active[:bj], active[bj+1:]...)
+		active = append(active[:bi], active[bi+1:]...)
+		active = append(active, node{id: nextID, centroid: centroid, weight: a.weight + b.weight})
+		nextID++
+	}
+	return d, nil
+}
+
+// CutK returns cluster assignments (leaf index -> cluster label in
+// 0..k-1) obtained by stopping the merge sequence when k clusters
+// remain. k must be in [1, Leaves].
+func (d *Dendrogram) CutK(k int) ([]int, error) {
+	n := d.Leaves
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("cluster: cannot cut %d leaves into %d clusters", n, k)
+	}
+	// Union-find over the first n-k merges.
+	parent := make([]int, n+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, m := range d.Merges[:n-k] {
+		ra, rb := find(m.A), find(m.B)
+		parent[ra] = m.NewID
+		parent[rb] = m.NewID
+	}
+	labels := make([]int, n)
+	remap := map[int]int{}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		l, ok := remap[root]
+		if !ok {
+			l = len(remap)
+			remap[root] = l
+		}
+		labels[i] = l
+	}
+	return labels, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of the clustering
+// described by labels over the symmetric pairwise distance matrix dm
+// (row-major, n×n). Values near 1 indicate compact well-separated
+// clusters; values near 0 indicate overlap. Singleton clusters
+// contribute a coefficient of 0, following the standard convention.
+func Silhouette(dm []float64, labels []int) (float64, error) {
+	n := len(labels)
+	if n == 0 {
+		return 0, errors.New("cluster: empty labels")
+	}
+	if len(dm) != n*n {
+		return 0, fmt.Errorf("cluster: distance matrix size %d does not match %d labels", len(dm), n)
+	}
+	nClusters := 0
+	for _, l := range labels {
+		if l+1 > nClusters {
+			nClusters = l + 1
+		}
+	}
+	if nClusters < 2 {
+		return 0, errors.New("cluster: silhouette requires >= 2 clusters")
+	}
+	size := make([]int, nClusters)
+	for _, l := range labels {
+		size[l]++
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		li := labels[i]
+		if size[li] == 1 {
+			continue // coefficient 0
+		}
+		sums := make([]float64, nClusters)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[labels[j]] += dm[i*n+j]
+		}
+		a := sums[li] / float64(size[li]-1)
+		b := math.Inf(1)
+		for c := 0; c < nClusters; c++ {
+			if c == li || size[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(size[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if mx := math.Max(a, b); mx > 0 {
+			total += (b - a) / mx
+		}
+	}
+	return total / float64(n), nil
+}
+
+// SilhouetteProfile cuts the dendrogram at every k in [2, maxK] and
+// returns the silhouette score per k, reproducing the paper's Fig. 6b
+// analysis: the score drop after k=3 justifies stopping at three
+// service clusters.
+func SilhouetteProfile(d *Dendrogram, dm []float64, maxK int) ([]float64, error) {
+	if maxK > d.Leaves {
+		maxK = d.Leaves
+	}
+	if maxK < 2 {
+		return nil, errors.New("cluster: silhouette profile needs maxK >= 2")
+	}
+	out := make([]float64, 0, maxK-1)
+	for k := 2; k <= maxK; k++ {
+		labels, err := d.CutK(k)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Silhouette(dm, labels)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

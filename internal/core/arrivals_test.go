@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func TestFitArrivalModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	peak := make([]float64, 20000)
+	for i := range peak {
+		peak[i] = 40 + 4*rng.NormFloat64()
+	}
+	off := make([]float64, 20000)
+	for i := range off {
+		off[i] = 0.5 * math.Pow(1-rng.Float64(), -1/ParetoShape)
+	}
+	m, err := FitArrivalModel(peak, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.PeakMu-40) > 0.2 || math.Abs(m.PeakSigma-4) > 0.2 {
+		t.Errorf("peak fit = (%v, %v)", m.PeakMu, m.PeakSigma)
+	}
+	if m.OffShape != ParetoShape {
+		t.Errorf("off shape = %v, want fixed %v", m.OffShape, ParetoShape)
+	}
+	if math.Abs(m.OffScale-0.5) > 0.05 {
+		t.Errorf("off scale = %v, want ~0.5", m.OffScale)
+	}
+	// sigma/mu ratio ~ 1/10, the paper's automated-sigma regularity.
+	if r := m.SigmaRatio(); math.Abs(r-0.1) > 0.02 {
+		t.Errorf("sigma ratio = %v, want ~0.1", r)
+	}
+}
+
+func TestFitArrivalModelValidation(t *testing.T) {
+	if _, err := FitArrivalModel(nil, []float64{1}); err == nil {
+		t.Error("empty peak samples must error")
+	}
+	if _, err := FitArrivalModel([]float64{1}, nil); err == nil {
+		t.Error("empty off samples must error")
+	}
+}
+
+func TestFitArrivalModelSilentNight(t *testing.T) {
+	m, err := FitArrivalModel([]float64{5, 6, 5}, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OffScale <= 0 {
+		t.Errorf("silent-night scale = %v, want positive fallback", m.OffScale)
+	}
+}
+
+func TestAutoSigma(t *testing.T) {
+	m := &ArrivalModel{PeakMu: 50, PeakSigma: 9}
+	m.AutoSigma()
+	if m.PeakSigma != 5 {
+		t.Errorf("auto sigma = %v, want 5", m.PeakSigma)
+	}
+	if !math.IsNaN((&ArrivalModel{}).SigmaRatio()) {
+		t.Error("zero-mu sigma ratio must be NaN")
+	}
+}
+
+func TestSampleCountModes(t *testing.T) {
+	m := &ArrivalModel{PeakMu: 30, PeakSigma: 3, OffShape: ParetoShape, OffScale: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	var day, night []float64
+	for i := 0; i < 10000; i++ {
+		day = append(day, float64(m.SampleCount(true, rng)))
+		night = append(night, float64(m.SampleCount(false, rng)))
+	}
+	if dm := mathx.Mean(day); math.Abs(dm-30) > 1 {
+		t.Errorf("day mean = %v", dm)
+	}
+	if nm := mathx.Mean(night); nm >= mathx.Mean(day)/3 {
+		t.Errorf("night mean %v not well below day", nm)
+	}
+	min, _ := mathx.MinMax(night)
+	if min < 0 {
+		t.Error("negative count")
+	}
+}
+
+func TestArrivalPDFs(t *testing.T) {
+	m := &ArrivalModel{PeakMu: 10, PeakSigma: 1, OffShape: ParetoShape, OffScale: 0.3}
+	if got := m.PeakPDF(10); got <= m.PeakPDF(13) {
+		t.Error("peak PDF must peak at mu")
+	}
+	if m.OffPeakPDF(0.2) != 0 {
+		t.Error("off-peak PDF below scale must be 0")
+	}
+	if m.OffPeakPDF(0.4) <= m.OffPeakPDF(2) {
+		t.Error("Pareto PDF must decay")
+	}
+}
+
+func TestFitArrivalModelsByClassAndGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var peakByClass, offByClass [][]float64
+	for d := 0; d < 10; d++ {
+		mu := 1.21 * math.Pow(71/1.21, float64(d)/9)
+		peak := make([]float64, 3000)
+		for i := range peak {
+			peak[i] = mu + mu/10*rng.NormFloat64()
+		}
+		off := make([]float64, 3000)
+		for i := range off {
+			off[i] = (0.05 * math.Pow(40, float64(d)/9)) * math.Pow(1-rng.Float64(), -1/ParetoShape)
+		}
+		peakByClass = append(peakByClass, peak)
+		offByClass = append(offByClass, off)
+	}
+	models, ratios, err := FitArrivalModelsByClass(peakByClass, offByClass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 10 {
+		t.Fatalf("models = %d", len(models))
+	}
+	// Paper §5.1: mu spans 1.21 to 71 across deciles, sigma/mu ~ 0.1
+	// everywhere.
+	if math.Abs(models[0].PeakMu-1.21) > 0.1 || math.Abs(models[9].PeakMu-71) > 2 {
+		t.Errorf("decile extremes = %v, %v", models[0].PeakMu, models[9].PeakMu)
+	}
+	for d, r := range ratios {
+		if math.Abs(r-0.1) > 0.03 {
+			t.Errorf("decile %d sigma ratio = %v", d, r)
+		}
+	}
+	// Exponential growth of mu across classes.
+	mus := make([]float64, 10)
+	scales := make([]float64, 10)
+	for d, m := range models {
+		mus[d] = m.PeakMu
+		scales[d] = m.OffScale
+	}
+	gMu, err := ArrivalGrowthRate(mus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG := math.Pow(71/1.21, 1.0/9)
+	if math.Abs(gMu-wantG) > 0.05 {
+		t.Errorf("mu growth = %v, want ~%v", gMu, wantG)
+	}
+	// "similar rate": the Pareto scale growth is within a factor ~1.3.
+	gScale, err := ArrivalGrowthRate(scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gScale < gMu*0.7 || gScale > gMu*1.4 {
+		t.Errorf("scale growth %v dissimilar to mu growth %v", gScale, gMu)
+	}
+}
+
+func TestArrivalGrowthRateValidation(t *testing.T) {
+	if _, err := ArrivalGrowthRate([]float64{1}); err == nil {
+		t.Error("single class must error")
+	}
+	if _, err := ArrivalGrowthRate([]float64{1, -1}); err == nil {
+		t.Error("negative values must error")
+	}
+	if _, _, err := FitArrivalModelsByClass(nil, nil); err == nil {
+		t.Error("empty class sets must error")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Model comparison utilities. The paper notes its models "will require
+// updates over the years to consider changes in popularity and new
+// services" (§7); comparing model sets fitted on different campaigns
+// (different periods, regions or operators) quantifies that drift and
+// doubles as a stability check: §4.4 predicts near-zero drift across
+// days of the same campaign.
+
+// ModelDelta quantifies the difference between two fitted models of the
+// same service.
+type ModelDelta struct {
+	Name string
+	// DeltaMu and DeltaSigma are absolute differences of the main
+	// volume trend parameters (log10 decades).
+	DeltaMu    float64
+	DeltaSigma float64
+	// DeltaBeta is the absolute difference of the power-law exponent.
+	DeltaBeta float64
+	// AlphaRatio is the ratio of power-law prefactors (1 = identical);
+	// expressed as max/min so it is always >= 1.
+	AlphaRatio float64
+	// ShareDelta is the absolute difference of session shares.
+	ShareDelta float64
+	// PeakCountDelta is the difference in retained mixture components.
+	PeakCountDelta int
+}
+
+// CompareModels computes the parameter deltas between two models of the
+// same service.
+func CompareModels(a, b *ServiceModel) ModelDelta {
+	d := ModelDelta{
+		Name:           a.Name,
+		DeltaMu:        math.Abs(a.Volume.MainMu - b.Volume.MainMu),
+		DeltaSigma:     math.Abs(a.Volume.MainSigma - b.Volume.MainSigma),
+		DeltaBeta:      math.Abs(a.Duration.Beta - b.Duration.Beta),
+		ShareDelta:     math.Abs(a.SessionShare - b.SessionShare),
+		PeakCountDelta: len(a.Volume.Peaks) - len(b.Volume.Peaks),
+	}
+	if a.Duration.Alpha > 0 && b.Duration.Alpha > 0 {
+		r := a.Duration.Alpha / b.Duration.Alpha
+		if r < 1 {
+			r = 1 / r
+		}
+		d.AlphaRatio = r
+	}
+	return d
+}
+
+// SetComparison is the aggregate comparison of two model sets.
+type SetComparison struct {
+	// Deltas holds per-service parameter differences for services
+	// present in both sets, sorted by descending DeltaBeta.
+	Deltas []ModelDelta
+	// OnlyInA and OnlyInB list services modeled in one set only — new
+	// or vanished services in a drift scenario.
+	OnlyInA, OnlyInB []string
+	// MedianDeltaMu and MedianDeltaBeta summarize the common services.
+	MedianDeltaMu   float64
+	MedianDeltaBeta float64
+}
+
+// CompareModelSets matches services by name and compares their models.
+func CompareModelSets(a, b *ModelSet) (*SetComparison, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("core: nil model set")
+	}
+	inB := map[string]*ServiceModel{}
+	for i := range b.Services {
+		inB[b.Services[i].Name] = &b.Services[i]
+	}
+	seen := map[string]bool{}
+	out := &SetComparison{}
+	var mus, betas []float64
+	for i := range a.Services {
+		ma := &a.Services[i]
+		mb, ok := inB[ma.Name]
+		if !ok {
+			out.OnlyInA = append(out.OnlyInA, ma.Name)
+			continue
+		}
+		seen[ma.Name] = true
+		d := CompareModels(ma, mb)
+		out.Deltas = append(out.Deltas, d)
+		mus = append(mus, d.DeltaMu)
+		betas = append(betas, d.DeltaBeta)
+	}
+	for i := range b.Services {
+		if !seen[b.Services[i].Name] {
+			found := false
+			for _, n := range out.OnlyInA {
+				if n == b.Services[i].Name {
+					found = true
+				}
+			}
+			if !found {
+				out.OnlyInB = append(out.OnlyInB, b.Services[i].Name)
+			}
+		}
+	}
+	if len(out.Deltas) == 0 {
+		return nil, errors.New("core: model sets share no services")
+	}
+	sort.SliceStable(out.Deltas, func(i, j int) bool {
+		return out.Deltas[i].DeltaBeta > out.Deltas[j].DeltaBeta
+	})
+	sort.Float64s(mus)
+	sort.Float64s(betas)
+	out.MedianDeltaMu = mus[len(mus)/2]
+	out.MedianDeltaBeta = betas[len(betas)/2]
+	return out, nil
+}

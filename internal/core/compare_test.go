@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func mkModel(name string, mu, sigma, alpha, beta, share float64, peaks int) ServiceModel {
+	m := ServiceModel{
+		Name:         name,
+		SessionShare: share,
+		Volume:       VolumeModel{MainMu: mu, MainSigma: sigma},
+		Duration:     DurationModel{Alpha: alpha, Beta: beta},
+	}
+	for i := 0; i < peaks; i++ {
+		m.Volume.Peaks = append(m.Volume.Peaks, VolumeComponent{K: 0.1, Mu: mu + 1, Sigma: 0.1})
+	}
+	return m
+}
+
+func TestCompareModelsDeltas(t *testing.T) {
+	a := mkModel("x", 6.0, 0.8, 1000, 1.2, 0.3, 2)
+	b := mkModel("x", 6.5, 0.7, 2000, 1.0, 0.25, 1)
+	d := CompareModels(&a, &b)
+	if math.Abs(d.DeltaMu-0.5) > 1e-12 || math.Abs(d.DeltaSigma-0.1) > 1e-12 {
+		t.Errorf("volume deltas = %+v", d)
+	}
+	if math.Abs(d.DeltaBeta-0.2) > 1e-12 {
+		t.Errorf("beta delta = %v", d.DeltaBeta)
+	}
+	if math.Abs(d.AlphaRatio-2) > 1e-12 {
+		t.Errorf("alpha ratio = %v", d.AlphaRatio)
+	}
+	if math.Abs(d.ShareDelta-0.05) > 1e-12 {
+		t.Errorf("share delta = %v", d.ShareDelta)
+	}
+	if d.PeakCountDelta != 1 {
+		t.Errorf("peak delta = %d", d.PeakCountDelta)
+	}
+	// Ratio is symmetric (always >= 1).
+	rev := CompareModels(&b, &a)
+	if math.Abs(rev.AlphaRatio-d.AlphaRatio) > 1e-12 {
+		t.Errorf("alpha ratio not symmetric: %v vs %v", rev.AlphaRatio, d.AlphaRatio)
+	}
+}
+
+func TestCompareModelSets(t *testing.T) {
+	a := &ModelSet{Services: []ServiceModel{
+		mkModel("common1", 6, 0.8, 1000, 1.2, 0.5, 1),
+		mkModel("common2", 5, 0.7, 500, 0.5, 0.3, 0),
+		mkModel("onlyA", 4, 0.5, 100, 0.3, 0.2, 0),
+	}}
+	b := &ModelSet{Services: []ServiceModel{
+		mkModel("common1", 6.1, 0.8, 1100, 1.25, 0.5, 1),
+		mkModel("common2", 5.0, 0.7, 500, 0.9, 0.3, 0),
+		mkModel("onlyB", 7, 0.9, 5000, 1.5, 0.1, 2),
+	}}
+	cmp, err := CompareModelSets(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("deltas = %d", len(cmp.Deltas))
+	}
+	// Sorted by descending beta delta: common2 (0.4) before common1 (0.05).
+	if cmp.Deltas[0].Name != "common2" {
+		t.Errorf("first delta = %s", cmp.Deltas[0].Name)
+	}
+	if len(cmp.OnlyInA) != 1 || cmp.OnlyInA[0] != "onlyA" {
+		t.Errorf("onlyInA = %v", cmp.OnlyInA)
+	}
+	if len(cmp.OnlyInB) != 1 || cmp.OnlyInB[0] != "onlyB" {
+		t.Errorf("onlyInB = %v", cmp.OnlyInB)
+	}
+	if cmp.MedianDeltaBeta <= 0 {
+		t.Errorf("median beta delta = %v", cmp.MedianDeltaBeta)
+	}
+}
+
+func TestCompareModelSetsValidation(t *testing.T) {
+	if _, err := CompareModelSets(nil, &ModelSet{}); err == nil {
+		t.Error("nil set must error")
+	}
+	a := &ModelSet{Services: []ServiceModel{mkModel("a", 1, 1, 1, 1, 1, 0)}}
+	b := &ModelSet{Services: []ServiceModel{mkModel("b", 1, 1, 1, 1, 1, 0)}}
+	if _, err := CompareModelSets(a, b); err == nil {
+		t.Error("disjoint sets must error")
+	}
+}
+
+func TestIdenticalSetsZeroDelta(t *testing.T) {
+	a := &ModelSet{Services: []ServiceModel{
+		mkModel("x", 6, 0.8, 1000, 1.2, 0.5, 1),
+		mkModel("y", 5, 0.6, 800, 0.6, 0.5, 2),
+	}}
+	cmp, err := CompareModelSets(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range cmp.Deltas {
+		if d.DeltaMu != 0 || d.DeltaBeta != 0 || d.AlphaRatio != 1 || d.PeakCountDelta != 0 {
+			t.Errorf("self-comparison delta = %+v", d)
+		}
+	}
+	if cmp.MedianDeltaMu != 0 || cmp.MedianDeltaBeta != 0 {
+		t.Errorf("medians = %v, %v", cmp.MedianDeltaMu, cmp.MedianDeltaBeta)
+	}
+}

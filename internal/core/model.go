@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// ServiceModel is the complete released model of one service (§5.4):
+// the parameter tuple [mu_s, sigma_s, {k_n, mu_n, sigma_n}_n, alpha_s,
+// beta_s] plus bookkeeping. Traffic volume statistics are extracted
+// from the volume mixture; duration follows from the inverse power law;
+// average throughput is their ratio.
+type ServiceModel struct {
+	Name         string        `json:"name"`
+	SessionShare float64       `json:"session_share"` // probability a new session belongs to this service
+	Volume       VolumeModel   `json:"volume"`
+	Duration     DurationModel `json:"duration"`
+	// VolumeEMD is the §5.4 quality metric of the volume model against
+	// the measurement PDF it was fitted on.
+	VolumeEMD float64 `json:"volume_emd"`
+	// DurationNoise is the log-domain jitter used when generating
+	// durations (0 reproduces the deterministic inverse of §5.4).
+	DurationNoise float64 `json:"duration_noise,omitempty"`
+}
+
+// GenSession is one synthetic session drawn from a ServiceModel.
+type GenSession struct {
+	Service    string
+	Volume     float64 // bytes
+	Duration   float64 // seconds
+	Throughput float64 // bytes/second
+}
+
+// Generate draws one synthetic session: volume from F_s, duration via
+// the inverse v_s^{-1}, throughput as their ratio (§5.4).
+func (m *ServiceModel) Generate(rng *rand.Rand) GenSession {
+	vol := m.Volume.Sample(rng)
+	dur := m.Duration.SampleDuration(vol, m.DurationNoise, rng)
+	return GenSession{
+		Service:    m.Name,
+		Volume:     vol,
+		Duration:   dur,
+		Throughput: vol / dur,
+	}
+}
+
+// ModelSet is the released collection of per-service models together
+// with the shared arrival model(s) per BS load class.
+type ModelSet struct {
+	Services []ServiceModel  `json:"services"`
+	Arrivals []*ArrivalModel `json:"arrivals,omitempty"` // per BS load class
+}
+
+// MarshalJSON is provided by the embedded struct tags; ToJSON returns
+// an indented rendering of the released parameters.
+func (s *ModelSet) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ModelSetFromJSON parses a released parameter file.
+func ModelSetFromJSON(data []byte) (*ModelSet, error) {
+	var out ModelSet
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("core: parse model set: %w", err)
+	}
+	return &out, nil
+}
+
+// ByName returns the service model with the given name.
+func (s *ModelSet) ByName(name string) (*ServiceModel, error) {
+	for i := range s.Services {
+		if s.Services[i].Name == name {
+			return &s.Services[i], nil
+		}
+	}
+	return nil, fmt.Errorf("core: model set has no service %q", name)
+}
+
+// Normalize rescales the session shares to sum to one, returning an
+// error when they are all zero.
+func (s *ModelSet) Normalize() error {
+	var total float64
+	for _, m := range s.Services {
+		total += m.SessionShare
+	}
+	if total <= 0 {
+		return errors.New("core: model set has zero total session share")
+	}
+	for i := range s.Services {
+		s.Services[i].SessionShare /= total
+	}
+	return nil
+}
+
+// Generator produces synthetic per-minute session workloads from a
+// ModelSet: arrival counts from the bi-modal arrival model of the
+// requested BS class, service attribution by the Table 1 shares, and
+// per-session volume/duration/throughput from the per-service models —
+// the complete generation recipe of §5.4 / §6.1.
+type Generator struct {
+	Set *ModelSet
+	rng *rand.Rand
+	// cumulative share table for service attribution
+	cum []float64
+}
+
+// NewGenerator validates the model set and prepares a generator with
+// the given seed.
+func NewGenerator(set *ModelSet, seed int64) (*Generator, error) {
+	if set == nil || len(set.Services) == 0 {
+		return nil, errors.New("core: generator needs a non-empty model set")
+	}
+	if err := set.Normalize(); err != nil {
+		return nil, err
+	}
+	g := &Generator{Set: set, rng: rand.New(rand.NewSource(seed))}
+	g.cum = make([]float64, len(set.Services))
+	var acc float64
+	for i, m := range set.Services {
+		acc += m.SessionShare
+		g.cum[i] = acc
+	}
+	return g, nil
+}
+
+// PickServiceIndex draws a service index by session share, without
+// generating a session; callers can pair it with Session to drive a
+// shared arrival realization across generators.
+func (g *Generator) PickServiceIndex() int { return g.pickService() }
+
+// pickService draws a service index by session share.
+func (g *Generator) pickService() int {
+	u := g.rng.Float64()
+	i := sort.SearchFloat64s(g.cum, u)
+	if i >= len(g.cum) {
+		i = len(g.cum) - 1
+	}
+	return i
+}
+
+// Minute generates the sessions established in one minute at a BS of
+// the given load class (index into Set.Arrivals); peak selects the
+// daytime or nighttime arrival mode.
+func (g *Generator) Minute(class int, peak bool) ([]GenSession, error) {
+	if len(g.Set.Arrivals) == 0 {
+		return nil, errors.New("core: model set has no arrival models")
+	}
+	if class < 0 || class >= len(g.Set.Arrivals) {
+		return nil, fmt.Errorf("core: arrival class %d out of range [0, %d)", class, len(g.Set.Arrivals))
+	}
+	n := g.Set.Arrivals[class].SampleCount(peak, g.rng)
+	out := make([]GenSession, 0, n)
+	for k := 0; k < n; k++ {
+		svc := g.pickService()
+		out = append(out, g.Set.Services[svc].Generate(g.rng))
+	}
+	return out, nil
+}
+
+// Session generates a single session of the named service.
+func (g *Generator) Session(name string) (GenSession, error) {
+	m, err := g.Set.ByName(name)
+	if err != nil {
+		return GenSession{}, err
+	}
+	return m.Generate(g.rng), nil
+}

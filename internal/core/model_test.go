@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func testModelSet() *ModelSet {
+	return &ModelSet{
+		Services: []ServiceModel{
+			{
+				Name:         "video",
+				SessionShare: 0.25,
+				Volume:       VolumeModel{MainMu: 7, MainSigma: 0.5},
+				Duration:     DurationModel{Alpha: 3000, Beta: 1.4},
+			},
+			{
+				Name:         "web",
+				SessionShare: 0.75,
+				Volume:       VolumeModel{MainMu: 5, MainSigma: 0.7},
+				Duration:     DurationModel{Alpha: 800, Beta: 0.5},
+			},
+		},
+		Arrivals: []*ArrivalModel{
+			{PeakMu: 20, PeakSigma: 2, OffShape: ParetoShape, OffScale: 0.4},
+		},
+	}
+}
+
+func TestGeneratorServiceMix(t *testing.T) {
+	g, err := NewGenerator(testModelSet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	total := 0
+	for minute := 0; minute < 2000; minute++ {
+		sessions, err := g.Minute(0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sessions {
+			counts[s.Service]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no sessions generated")
+	}
+	frac := float64(counts["web"]) / float64(total)
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("web share = %v, want ~0.75", frac)
+	}
+	// Arrival volume: ~20 sessions per peak minute.
+	if rate := float64(total) / 2000; math.Abs(rate-20) > 1 {
+		t.Errorf("mean arrivals/min = %v, want ~20", rate)
+	}
+}
+
+func TestGenerateSessionConsistency(t *testing.T) {
+	g, err := NewGenerator(testModelSet(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		s, err := g.Session("video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Volume <= 0 || s.Duration < 1 {
+			t.Fatalf("invalid session %+v", s)
+		}
+		if math.Abs(s.Throughput-s.Volume/s.Duration) > 1e-9 {
+			t.Fatalf("throughput inconsistent: %+v", s)
+		}
+	}
+	if _, err := g.Session("nope"); err == nil {
+		t.Error("unknown service must error")
+	}
+}
+
+func TestGeneratorDurationFollowsInversePowerLaw(t *testing.T) {
+	set := testModelSet()
+	set.Services[0].DurationNoise = 0 // deterministic inverse
+	g, err := NewGenerator(set, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := set.Services[0]
+	for i := 0; i < 200; i++ {
+		s, err := g.Session("video")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Duration.DurationFor(s.Volume)
+		if want < 1 {
+			want = 1
+		}
+		if math.Abs(s.Duration-want)/want > 1e-9 {
+			t.Fatalf("duration %v, want inverse %v", s.Duration, want)
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(nil, 0); err == nil {
+		t.Error("nil set must error")
+	}
+	if _, err := NewGenerator(&ModelSet{}, 0); err == nil {
+		t.Error("empty set must error")
+	}
+	zero := testModelSet()
+	zero.Services[0].SessionShare = 0
+	zero.Services[1].SessionShare = 0
+	if _, err := NewGenerator(zero, 0); err == nil {
+		t.Error("zero shares must error")
+	}
+	g, err := NewGenerator(testModelSet(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Minute(5, true); err == nil {
+		t.Error("out-of-range arrival class must error")
+	}
+	noArr := testModelSet()
+	noArr.Arrivals = nil
+	g2, err := NewGenerator(noArr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Minute(0, true); err == nil {
+		t.Error("missing arrival models must error")
+	}
+}
+
+func TestModelSetJSONRoundTrip(t *testing.T) {
+	set := testModelSet()
+	set.Services[0].Volume.Peaks = []VolumeComponent{{K: 0.1, Mu: 7.6, Sigma: 0.08}}
+	data, err := set.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ModelSetFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Services) != 2 || len(back.Arrivals) != 1 {
+		t.Fatalf("round trip shape: %+v", back)
+	}
+	v, err := back.ByName("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Volume.MainMu != 7 || len(v.Volume.Peaks) != 1 || v.Volume.Peaks[0].Mu != 7.6 {
+		t.Errorf("round-tripped video model = %+v", v)
+	}
+	if v.Duration.Beta != 1.4 {
+		t.Errorf("beta = %v", v.Duration.Beta)
+	}
+	if back.Arrivals[0].PeakMu != 20 {
+		t.Errorf("arrivals = %+v", back.Arrivals[0])
+	}
+	if _, err := ModelSetFromJSON([]byte("{garbage")); err == nil {
+		t.Error("malformed JSON must error")
+	}
+	if _, err := back.ByName("missing"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+func TestModelSetNormalize(t *testing.T) {
+	set := testModelSet()
+	set.Services[0].SessionShare = 1
+	set.Services[1].SessionShare = 3
+	if err := set.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(set.Services[0].SessionShare-0.25) > 1e-12 {
+		t.Errorf("normalized share = %v", set.Services[0].SessionShare)
+	}
+}
+
+func TestGeneratedVolumesMatchModelPDF(t *testing.T) {
+	set := testModelSet()
+	g, err := NewGenerator(set, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs []float64
+	for i := 0; i < 50000; i++ {
+		s, err := g.Session("web")
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs = append(logs, math.Log10(s.Volume))
+	}
+	if m := mathx.Mean(logs); math.Abs(m-5) > 0.02 {
+		t.Errorf("generated log-volume mean = %v, want 5", m)
+	}
+	if s := mathx.Std(logs); math.Abs(s-0.7) > 0.02 {
+		t.Errorf("generated log-volume std = %v, want 0.7", s)
+	}
+}

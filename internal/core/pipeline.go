@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+	"mobiletraffic/internal/services"
+)
+
+// FitOptions configures the end-to-end fitting pipeline.
+type FitOptions struct {
+	// Volume tunes the §5.2 mixture fit.
+	Volume *VolumeFitOptions
+	// MinSessions skips services with fewer observed sessions (their
+	// statistics are too noisy to model; default 100, mirroring the
+	// operator's aggregation floor).
+	MinSessions float64
+	// DurationNoise is stored on every fitted ServiceModel for
+	// generation (default 0.2 decades).
+	DurationNoise float64
+	// Filter optionally restricts which measurement cells inform the
+	// fit (e.g. probe.DayIn for per-period models, probe.BSIn for
+	// per-area models).
+	Filter probe.KeyFilter
+}
+
+func (o *FitOptions) withDefaults() FitOptions {
+	out := FitOptions{MinSessions: 100, DurationNoise: 0.2}
+	if o == nil {
+		return out
+	}
+	out.Volume = o.Volume
+	if o.MinSessions > 0 {
+		out.MinSessions = o.MinSessions
+	}
+	if o.DurationNoise > 0 {
+		out.DurationNoise = o.DurationNoise
+	}
+	out.Filter = o.Filter
+	return out
+}
+
+// FitServiceModels runs the full §5 modeling pipeline on collected
+// measurements: for every service in the catalog it aggregates the
+// nationwide volume PDF (Eq. 2) and duration-volume pairs (Eq. 1),
+// fits the log-normal mixture (§5.2) and the power law (§5.3), and
+// records the session share (Table 1) and the volume-model EMD (§5.4).
+// Services with too few sessions are skipped.
+func FitServiceModels(c *probe.Collector, catalog []services.Profile, opts *FitOptions) (*ModelSet, error) {
+	o := opts.withDefaults()
+	if c == nil {
+		return nil, fmt.Errorf("core: nil collector")
+	}
+	if len(catalog) != c.NumServices {
+		return nil, fmt.Errorf("core: catalog size %d does not match collector services %d",
+			len(catalog), c.NumServices)
+	}
+	shares, _, err := c.SessionShare(o.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("core: session shares: %w", err)
+	}
+	durations := c.DurationCenters()
+	withFilter := func(svc int) probe.KeyFilter {
+		f := probe.ForService(svc)
+		if o.Filter != nil {
+			return probe.And(f, o.Filter)
+		}
+		return f
+	}
+	set := &ModelSet{}
+	for svc := range catalog {
+		hist, weight, err := c.AggregateVolume(withFilter(svc))
+		if err != nil || weight < o.MinSessions {
+			continue
+		}
+		vm, err := FitVolumeModel(hist, o.Volume)
+		if err != nil {
+			return nil, fmt.Errorf("core: volume fit for %s: %w", catalog[svc].Name, err)
+		}
+		emd, err := vm.EMD(hist)
+		if err != nil {
+			return nil, fmt.Errorf("core: volume EMD for %s: %w", catalog[svc].Name, err)
+		}
+		values, counts, err := c.AggregatePairs(withFilter(svc))
+		if err != nil {
+			return nil, fmt.Errorf("core: pairs for %s: %w", catalog[svc].Name, err)
+		}
+		dm, err := FitDurationModel(durations, values, counts)
+		if err != nil {
+			return nil, fmt.Errorf("core: duration fit for %s: %w", catalog[svc].Name, err)
+		}
+		set.Services = append(set.Services, ServiceModel{
+			Name:          catalog[svc].Name,
+			SessionShare:  shares[svc],
+			Volume:        *vm,
+			Duration:      *dm,
+			VolumeEMD:     emd,
+			DurationNoise: o.DurationNoise,
+		})
+	}
+	if len(set.Services) == 0 {
+		return nil, fmt.Errorf("core: no service had >= %v sessions", o.MinSessions)
+	}
+	return set, nil
+}
+
+// FitArrivalsByDecile fits one ArrivalModel per BS load decile from the
+// collected minute counts, reproducing the Fig. 3 / §5.1 fits. topo
+// provides the decile membership of each BS.
+func FitArrivalsByDecile(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalModel, error) {
+	if c == nil || topo == nil {
+		return nil, fmt.Errorf("core: nil collector or topology")
+	}
+	peakByClass := make([][]float64, 10)
+	offByClass := make([][]float64, 10)
+	for d := 0; d < 10; d++ {
+		idx := topo.ByDecile(d)
+		if len(idx) == 0 {
+			return nil, fmt.Errorf("core: decile %d has no BSs", d)
+		}
+		filter := probe.BSIn(idx)
+		peakByClass[d] = c.MinuteCountSamples(filter, netsim.IsPeakMinute)
+		offByClass[d] = c.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
+		if len(peakByClass[d]) == 0 || len(offByClass[d]) == 0 {
+			return nil, fmt.Errorf("core: decile %d has no minute samples", d)
+		}
+	}
+	models, _, err := FitArrivalModelsByClass(peakByClass, offByClass)
+	return models, err
+}

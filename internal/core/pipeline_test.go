@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+)
+
+// buildMeasurement simulates a small network and collects its
+// measurements, returning the pieces the pipeline needs.
+func buildMeasurement(t *testing.T, cfg netsim.SimConfig, numBS int) (*probe.Collector, *netsim.Simulator) {
+	t.Helper()
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: numBS, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.NewSimulator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := probe.NewCollector(len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.GenerateAll(func(s netsim.Session) {
+		if err := coll.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return coll, sim
+}
+
+// TestPipelineRecoversGroundTruth is the central oracle test of the
+// reproduction: models fitted on simulated measurements must recover
+// the seeded per-service ground truth.
+func TestPipelineRecoversGroundTruth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// MoveProb 0 keeps sessions untruncated so fitted parameters are
+	// directly comparable with the seeded ones.
+	coll, sim := buildMeasurement(t, netsim.SimConfig{Days: 2, Seed: 17, MoveProb: 1e-12}, 20)
+	sim.Config.MoveProb = 0
+	set, err := FitServiceModels(coll, sim.Services, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Services) < 10 {
+		t.Fatalf("only %d services modeled", len(set.Services))
+	}
+	// Per-service checks for the heavy hitters.
+	for _, name := range []string{"Facebook", "Instagram", "SnapChat", "Netflix"} {
+		m, err := set.ByName(name)
+		if err != nil {
+			t.Fatalf("%s not modeled", name)
+		}
+		var truth *netsimProfile
+		for i := range sim.Services {
+			if sim.Services[i].Name == name {
+				truth = &netsimProfile{
+					mu: sim.Services[i].MainMu, beta: sim.Services[i].Beta,
+					share: 0,
+				}
+			}
+		}
+		if truth == nil {
+			t.Fatalf("no ground truth for %s", name)
+		}
+		if math.Abs(m.Volume.MainMu-truth.mu) > 0.4 {
+			t.Errorf("%s: fitted mu %v, seeded %v", name, m.Volume.MainMu, truth.mu)
+		}
+		if math.Abs(m.Duration.Beta-truth.beta) > 0.2 {
+			t.Errorf("%s: fitted beta %v, seeded %v", name, m.Duration.Beta, truth.beta)
+		}
+		if m.Duration.R2 < 0.5 {
+			t.Errorf("%s: duration R2 = %v (paper reports >= ~0.5)", name, m.Duration.R2)
+		}
+	}
+}
+
+type netsimProfile struct {
+	mu, beta, share float64
+}
+
+func TestFitServiceModelsSessionShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	coll, sim := buildMeasurement(t, netsim.SimConfig{Days: 1, Seed: 23}, 15)
+	set, err := FitServiceModels(coll, sim.Services, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := set.ByName("Facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1: Facebook ~36.5% of sessions (of the normalized catalog).
+	if fb.SessionShare < 0.30 || fb.SessionShare > 0.42 {
+		t.Errorf("Facebook share = %v", fb.SessionShare)
+	}
+}
+
+func TestFitServiceModelsValidation(t *testing.T) {
+	if _, err := FitServiceModels(nil, nil, nil); err == nil {
+		t.Error("nil collector must error")
+	}
+	coll, _ := probe.NewCollector(3)
+	if _, err := FitServiceModels(coll, nil, nil); err == nil {
+		t.Error("catalog mismatch must error")
+	}
+}
+
+func TestFitArrivalsByDecile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	coll, sim := buildMeasurement(t, netsim.SimConfig{Days: 1, Seed: 31}, 40)
+	models, err := FitArrivalsByDecile(coll, sim.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 10 {
+		t.Fatalf("models = %d", len(models))
+	}
+	// Arrival rates must grow monotonically (modulo jitter) from the
+	// first to the last decile and match the seeded extremes.
+	if models[9].PeakMu < models[0].PeakMu*10 {
+		t.Errorf("decile growth too small: %v -> %v", models[0].PeakMu, models[9].PeakMu)
+	}
+	if models[0].PeakMu < 0.5 || models[0].PeakMu > 3 {
+		t.Errorf("first decile mu = %v, seeded ~1.21", models[0].PeakMu)
+	}
+	if models[9].PeakMu < 50 || models[9].PeakMu > 95 {
+		t.Errorf("last decile mu = %v, seeded ~71", models[9].PeakMu)
+	}
+	// sigma ~ mu/10 across classes.
+	for d, m := range models {
+		if r := m.SigmaRatio(); r < 0.03 || r > 0.3 {
+			t.Errorf("decile %d sigma ratio = %v", d, r)
+		}
+	}
+	if _, err := FitArrivalsByDecile(nil, nil); err == nil {
+		t.Error("nil inputs must error")
+	}
+}

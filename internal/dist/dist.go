@@ -1,0 +1,267 @@
+// Package dist provides the probability machinery used throughout the
+// session-level traffic pipeline: analytic distributions (normal,
+// base-10 log-normal, Pareto, exponential, Weibull, uniform) with
+// sampling and fitting, binned empirical PDFs (Hist), the weighted
+// mixture averaging of paper Eq. (1)-(2), and the earth mover (EMD) and
+// squared Euclidean (SED) distances of paper §4.3-4.4.
+//
+// Per the paper's convention, per-session traffic volume PDFs live on a
+// base-10 logarithmic abscissa: a Hist over u = log10(bytes) whose shape
+// is Gaussian corresponds to the paper's LogN(x; mu, sigma^2) of Eq. (3).
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional continuous probability distribution.
+type Dist interface {
+	// PDF returns the probability density at x.
+	PDF(x float64) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Quantile returns the smallest x with CDF(x) >= p, for p in (0, 1).
+	Quantile(p float64) float64
+	// Sample draws one variate using rng.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the distribution mean (may be +Inf).
+	Mean() float64
+	// Var returns the distribution variance (may be +Inf).
+	Var() float64
+}
+
+// Normal is the Gaussian distribution with mean Mu and standard
+// deviation Sigma. It models the daytime mode of the per-minute session
+// arrival process (paper §5.1).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF implements Dist.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return 0
+	}
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-z*z/2) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF implements Dist.
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile implements Dist using the Acklam rational approximation of
+// the inverse normal CDF, refined with one Halley step; the result is
+// accurate to about 1e-9 over (0, 1).
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*stdNormalQuantile(p)
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Var implements Dist.
+func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
+
+// String returns a compact description.
+func (n Normal) String() string { return fmt.Sprintf("Normal(mu=%.4g, sigma=%.4g)", n.Mu, n.Sigma) }
+
+// stdNormalQuantile returns the quantile of the standard normal
+// distribution via Peter Acklam's algorithm plus one Halley refinement.
+func stdNormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	const (
+		a1 = -3.969683028665376e+01
+		a2 = 2.209460984245205e+02
+		a3 = -2.759285104469687e+02
+		a4 = 1.383577518672690e+02
+		a5 = -3.066479806614716e+01
+		a6 = 2.506628277459239e+00
+
+		b1 = -5.447609879822406e+01
+		b2 = 1.615858368580409e+02
+		b3 = -1.556989798598866e+02
+		b4 = 6.680131188771972e+01
+		b5 = -1.328068155288572e+01
+
+		c1 = -7.784894002430293e-03
+		c2 = -3.223964580411365e-01
+		c3 = -2.400758277161838e+00
+		c4 = -2.549732539343734e+00
+		c5 = 4.374664141464968e+00
+		c6 = 2.938163982698783e+00
+
+		d1 = 7.784695709041462e-03
+		d2 = 3.224671290700398e-01
+		d3 = 2.445134137142996e+00
+		d4 = 3.754408661907416e+00
+
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a1*r+a2)*r+a3)*r+a4)*r+a5)*r + a6) * q /
+			(((((b1*r+b2)*r+b3)*r+b4)*r+b5)*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c1*q+c2)*q+c3)*q+c4)*q+c5)*q + c6) /
+			((((d1*q+d2)*q+d3)*q+d4)*q + 1)
+	}
+	// One Halley step against the exact CDF.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// LogNormal10 is the base-10 log-normal of paper Eq. (3): log10(X) is
+// Normal(Mu, Sigma). Mu and Sigma are expressed in decades (log10
+// units). It models the main trend of per-session traffic volume PDFs.
+type LogNormal10 struct {
+	Mu    float64 // mean of log10(X)
+	Sigma float64 // std of log10(X)
+}
+
+const ln10 = math.Ln10
+
+// PDF implements Dist; the density is over x itself (it includes the
+// 1/(x ln 10) Jacobian). Use PDFLog10 for the density over log10(x),
+// which is the form plotted in the paper.
+func (l LogNormal10) PDF(x float64) float64 {
+	if x <= 0 || l.Sigma <= 0 {
+		return 0
+	}
+	return l.PDFLog10(math.Log10(x)) / (x * ln10)
+}
+
+// PDFLog10 returns the density over u = log10(x): a Gaussian with mean
+// Mu and deviation Sigma, exactly Eq. (3) of the paper.
+func (l LogNormal10) PDFLog10(u float64) float64 {
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.PDF(u)
+}
+
+// CDF implements Dist.
+func (l LogNormal10) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.CDF(math.Log10(x))
+}
+
+// Quantile implements Dist.
+func (l LogNormal10) Quantile(p float64) float64 {
+	return math.Pow(10, Normal{Mu: l.Mu, Sigma: l.Sigma}.Quantile(p))
+}
+
+// Sample implements Dist.
+func (l LogNormal10) Sample(rng *rand.Rand) float64 {
+	return math.Pow(10, l.Mu+l.Sigma*rng.NormFloat64())
+}
+
+// Mean implements Dist: E[X] = 10^Mu * exp((Sigma*ln10)^2 / 2).
+func (l LogNormal10) Mean() float64 {
+	s := l.Sigma * ln10
+	return math.Pow(10, l.Mu) * math.Exp(s*s/2)
+}
+
+// Var implements Dist.
+func (l LogNormal10) Var() float64 {
+	s := l.Sigma * ln10
+	m := l.Mean()
+	return (math.Exp(s*s) - 1) * m * m
+}
+
+// String returns a compact description.
+func (l LogNormal10) String() string {
+	return fmt.Sprintf("LogNormal10(mu=%.4g, sigma=%.4g)", l.Mu, l.Sigma)
+}
+
+// Pareto is the Pareto distribution with density
+// b*s^b / x^(b+1) for x >= s, matching the off-peak arrival model of
+// paper §5.1 (shape b fixed to 1.765 there).
+type Pareto struct {
+	Shape float64 // b
+	Scale float64 // s, the minimum value
+}
+
+// PDF implements Dist.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Scale || p.Shape <= 0 || p.Scale <= 0 {
+		return 0
+	}
+	return p.Shape * math.Pow(p.Scale, p.Shape) / math.Pow(x, p.Shape+1)
+}
+
+// CDF implements Dist.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Scale {
+		return 0
+	}
+	return 1 - math.Pow(p.Scale/x, p.Shape)
+}
+
+// Quantile implements Dist.
+func (p Pareto) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Scale
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Scale * math.Pow(1-q, -1/p.Shape)
+}
+
+// Sample implements Dist by inverse-CDF sampling.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	return p.Quantile(rng.Float64())
+}
+
+// Mean implements Dist; it is +Inf for Shape <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.Shape * p.Scale / (p.Shape - 1)
+}
+
+// Var implements Dist; it is +Inf for Shape <= 2.
+func (p Pareto) Var() float64 {
+	if p.Shape <= 2 {
+		return math.Inf(1)
+	}
+	b := p.Shape
+	return p.Scale * p.Scale * b / ((b - 1) * (b - 1) * (b - 2))
+}
+
+// String returns a compact description.
+func (p Pareto) String() string {
+	return fmt.Sprintf("Pareto(shape=%.4g, scale=%.4g)", p.Shape, p.Scale)
+}

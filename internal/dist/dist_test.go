@@ -1,0 +1,265 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// allDists returns a representative instance of every analytic
+// distribution for generic invariant checks.
+func allDists() map[string]Dist {
+	return map[string]Dist{
+		"normal":      Normal{Mu: 2, Sigma: 1.5},
+		"lognormal10": LogNormal10{Mu: 6.5, Sigma: 0.8},
+		"pareto":      Pareto{Shape: 2.5, Scale: 1.2},
+		"exponential": Exponential{Rate: 0.7},
+		"uniform":     Uniform{Lo: -1, Hi: 3},
+		"weibull":     Weibull{K: 1.8, Lambda: 4},
+	}
+}
+
+// CDF must be monotone non-decreasing from ~0 to ~1.
+func TestCDFMonotone(t *testing.T) {
+	for name, d := range allDists() {
+		t.Run(name, func(t *testing.T) {
+			lo := d.Quantile(0.001)
+			hi := d.Quantile(0.999)
+			prev := -1e-12
+			for _, x := range mathx.LinSpace(lo, hi, 200) {
+				c := d.CDF(x)
+				if c < prev-1e-12 {
+					t.Fatalf("CDF decreasing at x=%v: %v < %v", x, c, prev)
+				}
+				if c < 0 || c > 1 {
+					t.Fatalf("CDF out of [0,1] at x=%v: %v", x, c)
+				}
+				prev = c
+			}
+		})
+	}
+}
+
+// Quantile must invert the CDF.
+func TestQuantileInvertsCDF(t *testing.T) {
+	for name, d := range allDists() {
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				x := d.Quantile(p)
+				if got := d.CDF(x); math.Abs(got-p) > 1e-6 {
+					t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+				}
+			}
+		})
+	}
+}
+
+// PDF must integrate to ~1 over the bulk of the support.
+func TestPDFIntegratesToOne(t *testing.T) {
+	for name, d := range allDists() {
+		t.Run(name, func(t *testing.T) {
+			lo := d.Quantile(1e-6)
+			hi := d.Quantile(1 - 1e-6)
+			if math.IsInf(hi, 1) {
+				hi = d.Quantile(1 - 1e-4)
+			}
+			var integral float64
+			if lo > 0 && hi/lo > 1e3 {
+				// Heavy dynamic range (log-normal): substitute
+				// u = log10(x), dx = x ln10 du for a well-conditioned
+				// trapezoid integral.
+				us := mathx.LinSpace(math.Log10(lo), math.Log10(hi), 20001)
+				ys := make([]float64, len(us))
+				for i, u := range us {
+					x := math.Pow(10, u)
+					ys[i] = d.PDF(x) * x * math.Ln10
+				}
+				integral = mathx.Trapezoid(us, ys)
+			} else {
+				xs := mathx.LinSpace(lo, hi, 20001)
+				ys := make([]float64, len(xs))
+				for i, x := range xs {
+					ys[i] = d.PDF(x)
+				}
+				integral = mathx.Trapezoid(xs, ys)
+			}
+			if math.Abs(integral-1) > 2e-3 {
+				t.Errorf("PDF integral = %v, want ~1", integral)
+			}
+		})
+	}
+}
+
+// Sample moments must approach analytic moments. Each distribution gets
+// its own deterministic stream (map iteration order must not influence
+// the draws) and a tolerance matched to its tail weight: the sample
+// standard deviation of a wide log-normal converges very slowly.
+func TestSampleMomentsMatchAnalytic(t *testing.T) {
+	const n = 200000
+	seed := int64(0)
+	for name, d := range allDists() {
+		seed++
+		tolStd := 0.08
+		if name == "lognormal10" {
+			tolStd = 0.35 // heavy-tailed: Var[s^2] is enormous
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(name))*1000 + 42))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = d.Sample(rng)
+			}
+			wantMean, wantVar := d.Mean(), d.Var()
+			if math.IsInf(wantMean, 1) || math.IsInf(wantVar, 1) {
+				t.Skip("infinite moments")
+			}
+			gotMean := mathx.Mean(xs)
+			gotStd := mathx.Std(xs)
+			wantStd := math.Sqrt(wantVar)
+			meanTol := 0.05 * math.Max(1, wantStd)
+			if name == "lognormal10" {
+				meanTol = 0.1 * wantMean
+			}
+			if math.Abs(gotMean-wantMean) > meanTol {
+				t.Errorf("sample mean = %v, want %v", gotMean, wantMean)
+			}
+			if math.Abs(gotStd-wantStd) > tolStd*math.Max(1, wantStd) {
+				t.Errorf("sample std = %v, want %v", gotStd, wantStd)
+			}
+		})
+	}
+}
+
+func TestNormalKnownValues(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	if got := n.PDF(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("standard normal PDF(0) = %v", got)
+	}
+	if got := n.CDF(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("standard normal CDF(0) = %v", got)
+	}
+	if got := n.Quantile(0.975); math.Abs(got-1.959964) > 1e-4 {
+		t.Errorf("standard normal Quantile(0.975) = %v, want 1.959964", got)
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Error("boundary quantiles must be infinite")
+	}
+}
+
+func TestNormalDegenerateSigma(t *testing.T) {
+	n := Normal{Mu: 3, Sigma: 0}
+	if n.PDF(3) != 0 {
+		t.Error("degenerate PDF should be 0")
+	}
+	if n.CDF(2.9) != 0 || n.CDF(3.1) != 1 {
+		t.Error("degenerate CDF should step at Mu")
+	}
+}
+
+func TestLogNormal10Consistency(t *testing.T) {
+	l := LogNormal10{Mu: 6, Sigma: 0.5}
+	// Median is 10^Mu.
+	if got := l.Quantile(0.5); math.Abs(got-1e6)/1e6 > 1e-6 {
+		t.Errorf("median = %v, want 1e6", got)
+	}
+	// PDFLog10 is the paper's Eq. (3): Gaussian over log10 x.
+	if got := l.PDFLog10(6); math.Abs(got-Normal{Mu: 6, Sigma: 0.5}.PDF(6)) > 1e-15 {
+		t.Errorf("PDFLog10 mismatch: %v", got)
+	}
+	// PDF over x includes the Jacobian.
+	x := 2e6
+	want := l.PDFLog10(math.Log10(x)) / (x * math.Ln10)
+	if got := l.PDF(x); math.Abs(got-want) > 1e-18 {
+		t.Errorf("PDF Jacobian mismatch: %v vs %v", got, want)
+	}
+	if l.PDF(-1) != 0 || l.CDF(-1) != 0 {
+		t.Error("negative support must be zero")
+	}
+}
+
+func TestParetoKnownValues(t *testing.T) {
+	p := Pareto{Shape: 1.765, Scale: 2}
+	if p.PDF(1.5) != 0 {
+		t.Error("PDF below scale must be 0")
+	}
+	if got := p.CDF(2); got != 0 {
+		t.Errorf("CDF at scale = %v, want 0", got)
+	}
+	if got := p.CDF(4); math.Abs(got-(1-math.Pow(0.5, 1.765))) > 1e-12 {
+		t.Errorf("CDF(4) = %v", got)
+	}
+	if !math.IsInf(Pareto{Shape: 0.9, Scale: 1}.Mean(), 1) {
+		t.Error("mean must be infinite for shape <= 1")
+	}
+	if !math.IsInf(Pareto{Shape: 1.765, Scale: 1}.Var(), 1) {
+		t.Error("variance must be infinite for shape <= 2")
+	}
+}
+
+func TestMixtureBasics(t *testing.T) {
+	m, err := NewMixture(
+		[]Dist{Normal{Mu: 0, Sigma: 1}, Normal{Mu: 10, Sigma: 1}},
+		[]float64{1, 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mean(); math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("mixture mean = %v, want 7.5", got)
+	}
+	if got := m.CDF(5); math.Abs(got-0.25) > 1e-6 {
+		t.Errorf("mixture CDF(5) = %v, want 0.25", got)
+	}
+	// Quantile inverts CDF.
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		x := m.Quantile(p)
+		if got := m.CDF(x); math.Abs(got-p) > 1e-4 {
+			t.Errorf("mixture CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	// Sampling respects weights: ~75% of draws near the second mode.
+	rng := rand.New(rand.NewSource(1))
+	hi := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if m.Sample(rng) > 5 {
+			hi++
+		}
+	}
+	if frac := float64(hi) / n; math.Abs(frac-0.75) > 0.02 {
+		t.Errorf("fraction from second component = %v, want ~0.75", frac)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture must error")
+	}
+	if _, err := NewMixture([]Dist{Normal{}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := NewMixture([]Dist{Normal{}}, []float64{-1}); err == nil {
+		t.Error("negative weight must error")
+	}
+	if _, err := NewMixture([]Dist{Normal{}}, []float64{0}); err == nil {
+		t.Error("zero total weight must error")
+	}
+}
+
+// Property: Pareto quantile is monotone in p and respects the scale floor.
+func TestParetoQuantileProperty(t *testing.T) {
+	f := func(rawShape, rawScale, rawP float64) bool {
+		shape := 0.5 + math.Mod(math.Abs(rawShape), 3)
+		scale := 0.1 + math.Mod(math.Abs(rawScale), 10)
+		p := math.Mod(math.Abs(rawP), 1)
+		d := Pareto{Shape: shape, Scale: scale}
+		q := d.Quantile(p)
+		return q >= scale && (p == 0 || d.CDF(q) >= p-1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

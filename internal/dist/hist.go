@@ -1,0 +1,359 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Hist is a binned empirical probability distribution: Edges holds the
+// len(P)+1 ascending bin boundaries and P the probability mass per bin.
+//
+// Hist is the in-memory form of the paper's per-(service, BS, day)
+// traffic volume PDFs F_s^{c,t}(x) (§3.2). For traffic volumes the
+// domain is u = log10(bytes), so Gaussian-shaped masses correspond to
+// the base-10 log-normal components of Eq. (3).
+type Hist struct {
+	Edges []float64
+	P     []float64
+}
+
+// ErrGridMismatch is returned by operations requiring identical bin grids.
+var ErrGridMismatch = errors.New("dist: histogram bin grids differ")
+
+// NewHist creates an empty histogram over the given ascending edges.
+func NewHist(edges []float64) (*Hist, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("dist: need at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("dist: edges not strictly ascending at %d", i)
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Hist{Edges: e, P: make([]float64, len(edges)-1)}, nil
+}
+
+// UniformEdges returns n+1 evenly spaced edges covering [lo, hi].
+func UniformEdges(lo, hi float64, n int) []float64 {
+	return mathx.LinSpace(lo, hi, n+1)
+}
+
+// Bins returns the number of bins.
+func (h *Hist) Bins() int { return len(h.P) }
+
+// Centers returns the bin midpoints.
+func (h *Hist) Centers() []float64 {
+	out := make([]float64, h.Bins())
+	for i := range out {
+		out[i] = (h.Edges[i] + h.Edges[i+1]) / 2
+	}
+	return out
+}
+
+// Widths returns the bin widths.
+func (h *Hist) Widths() []float64 {
+	out := make([]float64, h.Bins())
+	for i := range out {
+		out[i] = h.Edges[i+1] - h.Edges[i]
+	}
+	return out
+}
+
+// BinIndex returns the bin containing x, clamping values outside the
+// range to the first or last bin. The right-most edge belongs to the
+// last bin.
+func (h *Hist) BinIndex(x float64) int {
+	n := h.Bins()
+	if x <= h.Edges[0] {
+		return 0
+	}
+	if x >= h.Edges[n] {
+		return n - 1
+	}
+	// Find i with Edges[i] <= x < Edges[i+1].
+	i := sort.SearchFloat64s(h.Edges, x)
+	if i > 0 && h.Edges[i] > x {
+		i--
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Add accumulates weight w of probability mass at position x.
+func (h *Hist) Add(x, w float64) { h.P[h.BinIndex(x)] += w }
+
+// AddSamples accumulates unit mass for every sample.
+func (h *Hist) AddSamples(xs []float64) {
+	for _, x := range xs {
+		h.Add(x, 1)
+	}
+}
+
+// Total returns the sum of all bin masses.
+func (h *Hist) Total() float64 { return mathx.Sum(h.P) }
+
+// Normalize scales the masses to sum to one. Normalizing an empty
+// histogram is an error.
+func (h *Hist) Normalize() error {
+	t := h.Total()
+	if t <= 0 {
+		return errors.New("dist: cannot normalize histogram with zero total mass")
+	}
+	for i := range h.P {
+		h.P[i] /= t
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	e := make([]float64, len(h.Edges))
+	copy(e, h.Edges)
+	p := make([]float64, len(h.P))
+	copy(p, h.P)
+	return &Hist{Edges: e, P: p}
+}
+
+// Mean returns the probability-weighted mean of the bin centers.
+func (h *Hist) Mean() float64 {
+	t := h.Total()
+	if t <= 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i, c := range h.Centers() {
+		s += c * h.P[i]
+	}
+	return s / t
+}
+
+// Var returns the probability-weighted variance around Mean.
+func (h *Hist) Var() float64 {
+	t := h.Total()
+	if t <= 0 {
+		return math.NaN()
+	}
+	m := h.Mean()
+	var s float64
+	for i, c := range h.Centers() {
+		d := c - m
+		s += d * d * h.P[i]
+	}
+	return s / t
+}
+
+// Std returns the probability-weighted standard deviation.
+func (h *Hist) Std() float64 { return math.Sqrt(h.Var()) }
+
+// Mode returns the center of the bin with the largest mass.
+func (h *Hist) Mode() float64 {
+	return h.Centers()[mathx.ArgMax(h.P)]
+}
+
+// Density returns the probability density per bin (mass / width).
+func (h *Hist) Density() []float64 {
+	w := h.Widths()
+	out := make([]float64, h.Bins())
+	for i, p := range h.P {
+		out[i] = p / w[i]
+	}
+	return out
+}
+
+// CDF returns P(X <= x) under the histogram, interpolating linearly
+// within the containing bin.
+func (h *Hist) CDF(x float64) float64 {
+	t := h.Total()
+	if t <= 0 {
+		return math.NaN()
+	}
+	if x <= h.Edges[0] {
+		return 0
+	}
+	n := h.Bins()
+	if x >= h.Edges[n] {
+		return 1
+	}
+	var acc float64
+	for i := 0; i < n; i++ {
+		if x >= h.Edges[i+1] {
+			acc += h.P[i]
+			continue
+		}
+		frac := (x - h.Edges[i]) / (h.Edges[i+1] - h.Edges[i])
+		acc += h.P[i] * frac
+		break
+	}
+	return acc / t
+}
+
+// Quantile returns the p-th quantile (0 <= p <= 1) with linear
+// interpolation inside the containing bin.
+func (h *Hist) Quantile(p float64) float64 {
+	t := h.Total()
+	if t <= 0 || p < 0 || p > 1 {
+		return math.NaN()
+	}
+	target := p * t
+	var acc float64
+	for i, m := range h.P {
+		if acc+m >= target {
+			if m == 0 {
+				return h.Edges[i]
+			}
+			frac := (target - acc) / m
+			return h.Edges[i] + frac*(h.Edges[i+1]-h.Edges[i])
+		}
+		acc += m
+	}
+	return h.Edges[len(h.Edges)-1]
+}
+
+// Sample draws a variate: a bin chosen proportionally to mass, then a
+// uniform position within the bin.
+func (h *Hist) Sample(rng *rand.Rand) float64 {
+	t := h.Total()
+	u := rng.Float64() * t
+	var acc float64
+	for i, m := range h.P {
+		acc += m
+		if u < acc {
+			return h.Edges[i] + rng.Float64()*(h.Edges[i+1]-h.Edges[i])
+		}
+	}
+	n := h.Bins()
+	return h.Edges[n-1] + rng.Float64()*(h.Edges[n]-h.Edges[n-1])
+}
+
+// Rebin redistributes the histogram's mass onto a new edge grid,
+// splitting each source bin's mass proportionally to its overlap with
+// each destination bin. Mass falling outside the new grid is clamped
+// into the boundary bins so the total is conserved.
+func (h *Hist) Rebin(edges []float64) (*Hist, error) {
+	out, err := NewHist(edges)
+	if err != nil {
+		return nil, err
+	}
+	nd := out.Bins()
+	for i, m := range h.P {
+		if m == 0 {
+			continue
+		}
+		lo, hi := h.Edges[i], h.Edges[i+1]
+		w := hi - lo
+		// Clamp fully-outside bins into the boundary.
+		if hi <= edges[0] {
+			out.P[0] += m
+			continue
+		}
+		if lo >= edges[nd] {
+			out.P[nd-1] += m
+			continue
+		}
+		for j := 0; j < nd; j++ {
+			a := math.Max(lo, out.Edges[j])
+			b := math.Min(hi, out.Edges[j+1])
+			if b > a {
+				out.P[j] += m * (b - a) / w
+			}
+		}
+		// Overlap that spills past the new grid's ends.
+		if lo < edges[0] {
+			out.P[0] += m * (math.Min(hi, edges[0]) - lo) / w
+		}
+		if hi > edges[nd] {
+			out.P[nd-1] += m * (hi - math.Max(lo, edges[nd])) / w
+		}
+	}
+	return out, nil
+}
+
+// ShiftToZeroMean returns the histogram re-expressed on the given
+// canonical edge grid after subtracting its mean from the domain. This
+// is normalization step (i) of the paper's quantitative service
+// comparison (§4.3): it removes the sheer traffic volume of each
+// service so EMD compares shapes.
+func (h *Hist) ShiftToZeroMean(canonicalEdges []float64) (*Hist, error) {
+	m := h.Mean()
+	if math.IsNaN(m) {
+		return nil, errors.New("dist: cannot center histogram with zero mass")
+	}
+	shifted := h.Clone()
+	for i := range shifted.Edges {
+		shifted.Edges[i] -= m
+	}
+	return shifted.Rebin(canonicalEdges)
+}
+
+// SameGrid reports whether two histograms share an identical bin grid.
+func SameGrid(a, b *Hist) bool {
+	if len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MixHists returns the weighted average of histograms sharing one bin
+// grid: paper Eq. (2), the finite-dimensional general mixture model used
+// to merge per-BS, per-day PDFs into aggregate PDFs. Weights are
+// typically the session counts w_s^{c,t}. Histograms must be normalized
+// by the caller if a probability result is desired with non-normalized
+// inputs; with normalized inputs the result is normalized.
+func MixHists(hists []*Hist, weights []float64) (*Hist, error) {
+	if len(hists) == 0 || len(hists) != len(weights) {
+		return nil, fmt.Errorf("dist: MixHists needs matching non-empty inputs, got %d/%d",
+			len(hists), len(weights))
+	}
+	var tw float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dist: negative mixture weight %v", w)
+		}
+		tw += w
+	}
+	if tw <= 0 {
+		return nil, errors.New("dist: MixHists weights sum to zero")
+	}
+	out := hists[0].Clone()
+	for i := range out.P {
+		out.P[i] = 0
+	}
+	for k, h := range hists {
+		if !SameGrid(out, h) {
+			return nil, ErrGridMismatch
+		}
+		w := weights[k] / tw
+		for i, p := range h.P {
+			out.P[i] += w * p
+		}
+	}
+	return out, nil
+}
+
+// FillFromDist populates the histogram masses from an analytic
+// distribution by differencing its CDF at the bin edges, then
+// normalizes. Useful to compare fitted models against measurements on
+// the measurement grid.
+func (h *Hist) FillFromDist(d Dist) error {
+	for i := range h.P {
+		h.P[i] = d.CDF(h.Edges[i+1]) - d.CDF(h.Edges[i])
+		if h.P[i] < 0 {
+			h.P[i] = 0
+		}
+	}
+	return h.Normalize()
+}

@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func mustHist(t *testing.T, edges []float64) *Hist {
+	t.Helper()
+	h, err := NewHist(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHistValidation(t *testing.T) {
+	if _, err := NewHist([]float64{1}); err == nil {
+		t.Error("single edge must error")
+	}
+	if _, err := NewHist([]float64{1, 1}); err == nil {
+		t.Error("non-ascending edges must error")
+	}
+	if _, err := NewHist([]float64{2, 1}); err == nil {
+		t.Error("descending edges must error")
+	}
+	h, err := NewHist([]float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins() != 2 {
+		t.Errorf("Bins = %d, want 2", h.Bins())
+	}
+}
+
+func TestHistAddAndBinIndex(t *testing.T) {
+	h := mustHist(t, []float64{0, 1, 2, 3})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.5, 0}, {1, 1}, {1.99, 1}, {2.5, 2}, {3, 2}, {99, 2},
+	}
+	for _, tc := range cases {
+		if got := h.BinIndex(tc.x); got != tc.want {
+			t.Errorf("BinIndex(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	h.Add(0.5, 2)
+	h.Add(2.5, 1)
+	if h.P[0] != 2 || h.P[2] != 1 {
+		t.Errorf("P = %v", h.P)
+	}
+	if h.Total() != 3 {
+		t.Errorf("Total = %v", h.Total())
+	}
+}
+
+func TestHistNormalize(t *testing.T) {
+	h := mustHist(t, []float64{0, 1, 2})
+	if err := h.Normalize(); err == nil {
+		t.Error("normalizing empty histogram must error")
+	}
+	h.Add(0.5, 3)
+	h.Add(1.5, 1)
+	if err := h.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(h.P[0], 0.75, 1e-12) || !mathx.AlmostEqual(h.P[1], 0.25, 1e-12) {
+		t.Errorf("P = %v", h.P)
+	}
+}
+
+func TestHistMoments(t *testing.T) {
+	h := mustHist(t, []float64{0, 1, 2})
+	h.P = []float64{0.5, 0.5} // centers 0.5 and 1.5
+	if got := h.Mean(); !mathx.AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := h.Var(); !mathx.AlmostEqual(got, 0.25, 1e-12) {
+		t.Errorf("Var = %v", got)
+	}
+	if got := h.Std(); !mathx.AlmostEqual(got, 0.5, 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+}
+
+func TestHistCDFQuantileRoundTrip(t *testing.T) {
+	h := mustHist(t, mathx.LinSpace(0, 10, 41))
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Add(rng.Float64()*10, 1)
+	}
+	if err := h.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		x := h.Quantile(p)
+		if got := h.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if got := h.CDF(-1); got != 0 {
+		t.Errorf("CDF below support = %v", got)
+	}
+	if got := h.CDF(11); got != 1 {
+		t.Errorf("CDF above support = %v", got)
+	}
+}
+
+func TestHistSampleDistribution(t *testing.T) {
+	h := mustHist(t, []float64{0, 1, 2})
+	h.P = []float64{0.2, 0.8}
+	rng := rand.New(rand.NewSource(9))
+	var second int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		x := h.Sample(rng)
+		if x < 0 || x > 2 {
+			t.Fatalf("sample %v outside support", x)
+		}
+		if x >= 1 {
+			second++
+		}
+	}
+	if frac := float64(second) / n; math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("second-bin fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestHistMode(t *testing.T) {
+	h := mustHist(t, []float64{0, 1, 2, 3})
+	h.P = []float64{0.2, 0.7, 0.1}
+	if got := h.Mode(); got != 1.5 {
+		t.Errorf("Mode = %v, want 1.5", got)
+	}
+}
+
+func TestHistRebinConservesMass(t *testing.T) {
+	h := mustHist(t, mathx.LinSpace(0, 10, 21))
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		h.Add(rng.Float64()*10, 1)
+	}
+	r, err := h.Rebin(mathx.LinSpace(-2, 12, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(r.Total(), h.Total(), 1e-9) {
+		t.Errorf("rebinned total = %v, want %v", r.Total(), h.Total())
+	}
+	// Rebin to a narrower grid clamps mass at the boundary but conserves it.
+	narrow, err := h.Rebin(mathx.LinSpace(2, 8, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(narrow.Total(), h.Total(), 1e-9) {
+		t.Errorf("clamped rebin total = %v, want %v", narrow.Total(), h.Total())
+	}
+	// Mean must be (approximately) preserved for a covering grid.
+	if math.Abs(r.Mean()-h.Mean()) > 0.3 {
+		t.Errorf("rebinned mean = %v, want ~%v", r.Mean(), h.Mean())
+	}
+}
+
+func TestShiftToZeroMean(t *testing.T) {
+	h := mustHist(t, mathx.LinSpace(4, 8, 41))
+	n := Normal{Mu: 6.2, Sigma: 0.4}
+	if err := h.FillFromDist(n); err != nil {
+		t.Fatal(err)
+	}
+	canonical := mathx.LinSpace(-4, 4, 161)
+	c, err := h.ShiftToZeroMean(canonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Mean()) > 0.05 {
+		t.Errorf("centered mean = %v, want ~0", c.Mean())
+	}
+	if !mathx.AlmostEqual(c.Total(), h.Total(), 1e-9) {
+		t.Errorf("centered total = %v, want %v", c.Total(), h.Total())
+	}
+}
+
+func TestMixHists(t *testing.T) {
+	edges := mathx.LinSpace(0, 1, 11)
+	a := mustHist(t, edges)
+	b := mustHist(t, edges)
+	a.P[0] = 1
+	b.P[9] = 1
+	m, err := MixHists([]*Hist{a, b}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(m.P[0], 0.75, 1e-12) || !mathx.AlmostEqual(m.P[9], 0.25, 1e-12) {
+		t.Errorf("mixed P = %v", m.P)
+	}
+	// Grid mismatch must error.
+	c := mustHist(t, mathx.LinSpace(0, 2, 11))
+	c.P[0] = 1
+	if _, err := MixHists([]*Hist{a, c}, []float64{1, 1}); err == nil {
+		t.Error("grid mismatch must error")
+	}
+	if _, err := MixHists(nil, nil); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := MixHists([]*Hist{a}, []float64{0}); err == nil {
+		t.Error("zero weights must error")
+	}
+	if _, err := MixHists([]*Hist{a}, []float64{-1}); err == nil {
+		t.Error("negative weights must error")
+	}
+}
+
+func TestFillFromDist(t *testing.T) {
+	h := mustHist(t, mathx.LinSpace(-5, 5, 101))
+	if err := h.FillFromDist(Normal{Mu: 0, Sigma: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(h.Total(), 1, 1e-9) {
+		t.Errorf("total = %v", h.Total())
+	}
+	if math.Abs(h.Mean()) > 0.01 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if math.Abs(h.Std()-1) > 0.02 {
+		t.Errorf("std = %v", h.Std())
+	}
+}
+
+// Property: histogram built from samples reproduces sample mean within
+// a bin width.
+func TestHistMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, _ := NewHist(mathx.LinSpace(-10, 10, 201))
+		xs := make([]float64, 500)
+		for i := range xs {
+			xs[i] = mathx.Clamp(rng.NormFloat64()*2, -9.9, 9.9)
+			h.Add(xs[i], 1)
+		}
+		return math.Abs(h.Mean()-mathx.Mean(xs)) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

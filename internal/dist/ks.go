@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSTwoSample computes the two-sample Kolmogorov-Smirnov statistic
+// between sample sets a and b — the supremum distance between their
+// empirical CDFs — together with the asymptotic p-value of the null
+// hypothesis that both sets come from the same distribution. It is used
+// to verify that model-generated sessions are statistically
+// indistinguishable from measured ones (§5.4's generator fidelity).
+func KSTwoSample(a, b []float64) (d, pvalue float64, err error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 0, fmt.Errorf("dist: KS needs non-empty samples, got %d/%d", len(a), len(b))
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := len(as), len(bs)
+	var i, j int
+	for i < na && j < nb {
+		x := math.Min(as[i], bs[j])
+		for i < na && as[i] <= x {
+			i++
+		}
+		for j < nb && bs[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(na)
+		fb := float64(j) / float64(nb)
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(float64(na) * float64(nb) / float64(na+nb))
+	pvalue = ksSurvival((en + 0.12 + 0.11/en) * d)
+	return d, pvalue, nil
+}
+
+// ksSurvival evaluates the Kolmogorov distribution's survival function
+// Q(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	l2 := -2 * lambda * lambda
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(l2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	return mathClamp(p, 0, 1)
+}
+
+func mathClamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 3000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	d, p, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Errorf("same-distribution KS d = %v", d)
+	}
+	if p < 0.01 {
+		t.Errorf("same-distribution p-value = %v, want not rejected", p)
+	}
+}
+
+func TestKSTwoSampleDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 3000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5 // shifted
+	}
+	d, p, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.1 {
+		t.Errorf("shifted-distribution KS d = %v, want large", d)
+	}
+	if p > 1e-6 {
+		t.Errorf("shifted-distribution p-value = %v, want rejected", p)
+	}
+}
+
+func TestKSTwoSampleIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, p, err := KSTwoSample(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("identical-sample d = %v", d)
+	}
+	if p < 0.99 {
+		t.Errorf("identical-sample p = %v", p)
+	}
+}
+
+func TestKSTwoSampleValidation(t *testing.T) {
+	if _, _, err := KSTwoSample(nil, []float64{1}); err == nil {
+		t.Error("empty sample must error")
+	}
+}
+
+func TestKSTwoSampleUnequalSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]float64, 200)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = rng.ExpFloat64()
+	}
+	for i := range b {
+		b[i] = rng.ExpFloat64()
+	}
+	d, p, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.12 || p < 0.01 {
+		t.Errorf("unequal-size same-dist: d=%v p=%v", d, p)
+	}
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// EMD returns the first Wasserstein (earth mover) distance between two
+// histograms defined on the same bin grid: the integral of the absolute
+// CDF difference over the domain. It is zero for identical PDFs and
+// grows with the minimum cost of displacing probability mass from one
+// distribution into the other, matching the paper's use in §4.3-4.4 and
+// §5.4. Both inputs are normalized internally before comparison.
+func EMD(a, b *Hist) (float64, error) {
+	if !SameGrid(a, b) {
+		return 0, ErrGridMismatch
+	}
+	ta, tb := a.Total(), b.Total()
+	if ta <= 0 || tb <= 0 {
+		return 0, fmt.Errorf("dist: EMD needs positive mass, got %v and %v", ta, tb)
+	}
+	var cdfA, cdfB, d float64
+	for i := range a.P {
+		cdfA += a.P[i] / ta
+		cdfB += b.P[i] / tb
+		d += math.Abs(cdfA-cdfB) * (a.Edges[i+1] - a.Edges[i])
+	}
+	return d, nil
+}
+
+// EMDSamplesSorted computes the 1-Wasserstein distance between two
+// equal-length sorted sample sets: the mean absolute difference of
+// order statistics.
+func EMDSamplesSorted(a, b []float64) (float64, error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, fmt.Errorf("dist: EMDSamplesSorted needs equal non-empty lengths, got %d/%d",
+			len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a)), nil
+}
+
+// SED returns the squared Euclidean distance between two value vectors,
+// the metric the paper applies to duration-volume pair vectors v_s(d)
+// (§4.4). Vectors must have equal length.
+func SED(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("dist: SED needs equal lengths, got %d/%d", len(a), len(b))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// KSStatistic returns the Kolmogorov-Smirnov statistic (max absolute
+// CDF difference) between two histograms on the same grid; a secondary
+// goodness-of-fit check alongside EMD.
+func KSStatistic(a, b *Hist) (float64, error) {
+	if !SameGrid(a, b) {
+		return 0, ErrGridMismatch
+	}
+	ta, tb := a.Total(), b.Total()
+	if ta <= 0 || tb <= 0 {
+		return 0, fmt.Errorf("dist: KS needs positive mass, got %v and %v", ta, tb)
+	}
+	var cdfA, cdfB, best float64
+	for i := range a.P {
+		cdfA += a.P[i] / ta
+		cdfB += b.P[i] / tb
+		if d := math.Abs(cdfA - cdfB); d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// TotalVariation returns half the L1 distance between the normalized
+// mass vectors of two histograms on the same grid.
+func TotalVariation(a, b *Hist) (float64, error) {
+	if !SameGrid(a, b) {
+		return 0, ErrGridMismatch
+	}
+	ta, tb := a.Total(), b.Total()
+	if ta <= 0 || tb <= 0 {
+		return 0, fmt.Errorf("dist: TV needs positive mass, got %v and %v", ta, tb)
+	}
+	var s float64
+	for i := range a.P {
+		s += math.Abs(a.P[i]/ta - b.P[i]/tb)
+	}
+	return s / 2, nil
+}

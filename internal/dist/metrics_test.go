@@ -1,0 +1,251 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func gaussHist(t *testing.T, mu, sigma float64) *Hist {
+	t.Helper()
+	h := mustHist(t, mathx.LinSpace(-10, 10, 401))
+	if err := h.FillFromDist(Normal{Mu: mu, Sigma: sigma}); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestEMDIdentity(t *testing.T) {
+	h := gaussHist(t, 0, 1)
+	d, err := EMD(h, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("EMD(h, h) = %v, want 0", d)
+	}
+}
+
+func TestEMDShiftEqualsDistance(t *testing.T) {
+	// EMD between two identical shapes shifted by delta is exactly delta.
+	a := gaussHist(t, 0, 1)
+	b := gaussHist(t, 2, 1)
+	d, err := EMD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-2) > 0.02 {
+		t.Errorf("EMD = %v, want ~2", d)
+	}
+}
+
+func TestEMDSymmetryAndTriangle(t *testing.T) {
+	a := gaussHist(t, -1, 0.8)
+	b := gaussHist(t, 1, 1.2)
+	c := gaussHist(t, 3, 0.5)
+	dab, _ := EMD(a, b)
+	dba, _ := EMD(b, a)
+	dbc, _ := EMD(b, c)
+	dac, _ := EMD(a, c)
+	if math.Abs(dab-dba) > 1e-12 {
+		t.Errorf("EMD not symmetric: %v vs %v", dab, dba)
+	}
+	if dac > dab+dbc+1e-9 {
+		t.Errorf("triangle inequality violated: %v > %v + %v", dac, dab, dbc)
+	}
+}
+
+func TestEMDErrors(t *testing.T) {
+	a := gaussHist(t, 0, 1)
+	b := mustHist(t, mathx.LinSpace(-5, 5, 401))
+	if _, err := EMD(a, b); err == nil {
+		t.Error("grid mismatch must error")
+	}
+	empty := mustHist(t, mathx.LinSpace(-10, 10, 401))
+	if _, err := EMD(a, empty); err == nil {
+		t.Error("zero-mass input must error")
+	}
+}
+
+func TestEMDNormalizationInvariant(t *testing.T) {
+	// EMD must not depend on total mass, only on shape.
+	a := gaussHist(t, 0, 1)
+	b := gaussHist(t, 1, 1)
+	scaled := b.Clone()
+	for i := range scaled.P {
+		scaled.P[i] *= 7
+	}
+	d1, _ := EMD(a, b)
+	d2, _ := EMD(a, scaled)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("EMD changed under scaling: %v vs %v", d1, d2)
+	}
+}
+
+func TestEMDSamplesSorted(t *testing.T) {
+	a := []float64{0, 1, 2}
+	b := []float64{1, 2, 3}
+	d, err := EMDSamplesSorted(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("EMDSamplesSorted = %v, want 1", d)
+	}
+	if _, err := EMDSamplesSorted(a, a[:2]); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestSED(t *testing.T) {
+	d, err := SED([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || d != 0 {
+		t.Errorf("SED identical = %v, %v", d, err)
+	}
+	d, err = SED([]float64{0, 0}, []float64{3, 4})
+	if err != nil || d != 25 {
+		t.Errorf("SED = %v, want 25", d)
+	}
+	if _, err := SED([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestKSAndTV(t *testing.T) {
+	a := gaussHist(t, 0, 1)
+	b := gaussHist(t, 0, 1)
+	ks, err := KSStatistic(a, b)
+	if err != nil || ks != 0 {
+		t.Errorf("KS identical = %v, %v", ks, err)
+	}
+	tv, err := TotalVariation(a, b)
+	if err != nil || tv != 0 {
+		t.Errorf("TV identical = %v, %v", tv, err)
+	}
+	c := gaussHist(t, 3, 1)
+	ks, _ = KSStatistic(a, c)
+	tv, _ = TotalVariation(a, c)
+	if ks <= 0.5 || tv <= 0.5 {
+		t.Errorf("well-separated Gaussians: KS=%v TV=%v, want > 0.5", ks, tv)
+	}
+	if ks > 1 || tv > 1 {
+		t.Errorf("KS=%v TV=%v exceed 1", ks, tv)
+	}
+}
+
+// Property: EMD is non-negative and zero only for (numerically)
+// identical normalized histograms.
+func TestEMDMetricProperty(t *testing.T) {
+	edges := mathx.LinSpace(0, 1, 21)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := NewHist(edges)
+		b, _ := NewHist(edges)
+		for i := range a.P {
+			a.P[i] = rng.Float64()
+			b.P[i] = rng.Float64()
+		}
+		d, err := EMD(a, b)
+		if err != nil || d < 0 {
+			return false
+		}
+		self, err := EMD(a, a)
+		return err == nil && self == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLEFits(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 100000
+
+	t.Run("normal", func(t *testing.T) {
+		truth := Normal{Mu: 3, Sigma: 2}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = truth.Sample(rng)
+		}
+		got, err := FitNormal(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Mu-3) > 0.05 || math.Abs(got.Sigma-2) > 0.05 {
+			t.Errorf("FitNormal = %+v", got)
+		}
+	})
+
+	t.Run("lognormal10", func(t *testing.T) {
+		truth := LogNormal10{Mu: 6.5, Sigma: 0.8}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = truth.Sample(rng)
+		}
+		got, err := FitLogNormal10(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Mu-6.5) > 0.02 || math.Abs(got.Sigma-0.8) > 0.02 {
+			t.Errorf("FitLogNormal10 = %+v", got)
+		}
+		if _, err := FitLogNormal10([]float64{1, -1}); err == nil {
+			t.Error("non-positive sample must error")
+		}
+	})
+
+	t.Run("pareto", func(t *testing.T) {
+		truth := Pareto{Shape: 1.765, Scale: 2}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = truth.Sample(rng)
+		}
+		got, err := FitPareto(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Shape-1.765) > 0.05 || math.Abs(got.Scale-2) > 0.01 {
+			t.Errorf("FitPareto = %+v", got)
+		}
+		fixed, err := FitParetoFixedShape(xs, 1.765)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fixed.Shape != 1.765 {
+			t.Errorf("fixed shape = %v", fixed.Shape)
+		}
+	})
+
+	t.Run("exponential", func(t *testing.T) {
+		truth := Exponential{Rate: 0.25}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = truth.Sample(rng)
+		}
+		got, err := FitExponential(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Rate-0.25) > 0.01 {
+			t.Errorf("FitExponential = %+v", got)
+		}
+	})
+
+	t.Run("empty inputs", func(t *testing.T) {
+		if _, err := FitNormal(nil); err == nil {
+			t.Error("FitNormal(nil) must error")
+		}
+		if _, err := FitPareto(nil); err == nil {
+			t.Error("FitPareto(nil) must error")
+		}
+		if _, err := FitExponential(nil); err == nil {
+			t.Error("FitExponential(nil) must error")
+		}
+		if _, err := FitLogNormal10(nil); err == nil {
+			t.Error("FitLogNormal10(nil) must error")
+		}
+	})
+}

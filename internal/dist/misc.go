@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Exponential is the exponential distribution with the given Rate
+// (lambda). It models the negative exponential decay of per-service
+// session shares across the service ranking (paper §4.1, Fig. 4) and
+// inter-arrival gaps in Poisson arrival processes.
+type Exponential struct {
+	Rate float64
+}
+
+// PDF implements Dist.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 || e.Rate <= 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF implements Dist.
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Quantile implements Dist.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / e.Rate
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / e.Rate
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Var implements Dist.
+func (e Exponential) Var() float64 { return 1 / (e.Rate * e.Rate) }
+
+// String returns a compact description.
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(rate=%.4g)", e.Rate) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// PDF implements Dist.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x >= u.Hi || u.Hi <= u.Lo {
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF implements Dist.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x < u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Quantile implements Dist.
+func (u Uniform) Quantile(p float64) float64 { return u.Lo + p*(u.Hi-u.Lo) }
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) float64 { return u.Lo + rng.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Var implements Dist.
+func (u Uniform) Var() float64 { d := u.Hi - u.Lo; return d * d / 12 }
+
+// String returns a compact description.
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%.4g, %.4g)", u.Lo, u.Hi) }
+
+// Weibull is the Weibull distribution with shape K and scale Lambda.
+// It serves as an alternative session-duration family in the
+// model-selection ablation of §5.3.
+type Weibull struct {
+	K      float64 // shape
+	Lambda float64 // scale
+}
+
+// PDF implements Dist.
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 || w.K <= 0 || w.Lambda <= 0 {
+		return 0
+	}
+	z := x / w.Lambda
+	return w.K / w.Lambda * math.Pow(z, w.K-1) * math.Exp(-math.Pow(z, w.K))
+}
+
+// CDF implements Dist.
+func (w Weibull) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/w.Lambda, w.K))
+}
+
+// Quantile implements Dist.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Lambda * math.Pow(-math.Log(1-p), 1/w.K)
+}
+
+// Sample implements Dist.
+func (w Weibull) Sample(rng *rand.Rand) float64 { return w.Quantile(rng.Float64()) }
+
+// Mean implements Dist.
+func (w Weibull) Mean() float64 { return w.Lambda * math.Gamma(1+1/w.K) }
+
+// Var implements Dist.
+func (w Weibull) Var() float64 {
+	g1 := math.Gamma(1 + 1/w.K)
+	g2 := math.Gamma(1 + 2/w.K)
+	return w.Lambda * w.Lambda * (g2 - g1*g1)
+}
+
+// String returns a compact description.
+func (w Weibull) String() string { return fmt.Sprintf("Weibull(k=%.4g, lambda=%.4g)", w.K, w.Lambda) }
+
+// Mixture is a finite weighted mixture of component distributions.
+// Weights need not be normalized; they are treated proportionally.
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+}
+
+// NewMixture builds a mixture, validating that the component and weight
+// counts match and weights are non-negative with a positive sum.
+func NewMixture(components []Dist, weights []float64) (*Mixture, error) {
+	if len(components) != len(weights) || len(components) == 0 {
+		return nil, fmt.Errorf("dist: mixture needs matching non-empty components/weights, got %d/%d",
+			len(components), len(weights))
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("dist: negative mixture weight %v", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to %v", sum)
+	}
+	return &Mixture{Components: components, Weights: weights}, nil
+}
+
+func (m *Mixture) totalWeight() float64 {
+	var s float64
+	for _, w := range m.Weights {
+		s += w
+	}
+	return s
+}
+
+// PDF implements Dist.
+func (m *Mixture) PDF(x float64) float64 {
+	tw := m.totalWeight()
+	var s float64
+	for i, c := range m.Components {
+		s += m.Weights[i] / tw * c.PDF(x)
+	}
+	return s
+}
+
+// CDF implements Dist.
+func (m *Mixture) CDF(x float64) float64 {
+	tw := m.totalWeight()
+	var s float64
+	for i, c := range m.Components {
+		s += m.Weights[i] / tw * c.CDF(x)
+	}
+	return s
+}
+
+// Quantile implements Dist by bisection on the mixture CDF.
+func (m *Mixture) Quantile(p float64) float64 {
+	if p <= 0 {
+		p = 1e-12
+	}
+	if p >= 1 {
+		p = 1 - 1e-12
+	}
+	// Bracket using component quantiles.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range m.Components {
+		if q := c.Quantile(1e-9); q < lo {
+			lo = q
+		}
+		if q := c.Quantile(1 - 1e-9); q > hi && !math.IsInf(q, 1) {
+			hi = q
+		}
+	}
+	if math.IsInf(hi, 1) || hi <= lo {
+		hi = lo + 1e12
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if m.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Sample implements Dist: choose a component by weight, then sample it.
+func (m *Mixture) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64() * m.totalWeight()
+	var acc float64
+	for i, w := range m.Weights {
+		acc += w
+		if u < acc {
+			return m.Components[i].Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}
+
+// Mean implements Dist.
+func (m *Mixture) Mean() float64 {
+	tw := m.totalWeight()
+	var s float64
+	for i, c := range m.Components {
+		s += m.Weights[i] / tw * c.Mean()
+	}
+	return s
+}
+
+// Var implements Dist via E[X^2] - E[X]^2 over components.
+func (m *Mixture) Var() float64 {
+	tw := m.totalWeight()
+	var ex, ex2 float64
+	for i, c := range m.Components {
+		w := m.Weights[i] / tw
+		cm := c.Mean()
+		ex += w * cm
+		ex2 += w * (c.Var() + cm*cm)
+	}
+	return ex2 - ex*ex
+}

@@ -1,0 +1,89 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// FitNormal returns the maximum-likelihood Normal for the samples
+// (sample mean, population standard deviation).
+func FitNormal(xs []float64) (Normal, error) {
+	if len(xs) == 0 {
+		return Normal{}, fmt.Errorf("dist: FitNormal: %w", mathx.ErrEmpty)
+	}
+	return Normal{Mu: mathx.Mean(xs), Sigma: math.Sqrt(mathx.PopVariance(xs))}, nil
+}
+
+// FitLogNormal10 returns the maximum-likelihood base-10 log-normal for
+// strictly positive samples.
+func FitLogNormal10(xs []float64) (LogNormal10, error) {
+	if len(xs) == 0 {
+		return LogNormal10{}, fmt.Errorf("dist: FitLogNormal10: %w", mathx.ErrEmpty)
+	}
+	logs := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if x <= 0 {
+			return LogNormal10{}, fmt.Errorf("dist: FitLogNormal10: non-positive sample %v", x)
+		}
+		logs = append(logs, math.Log10(x))
+	}
+	n, err := FitNormal(logs)
+	if err != nil {
+		return LogNormal10{}, err
+	}
+	return LogNormal10{Mu: n.Mu, Sigma: n.Sigma}, nil
+}
+
+// FitPareto returns the maximum-likelihood Pareto for the samples:
+// scale = min(x), shape = n / sum(ln(x_i/scale)).
+func FitPareto(xs []float64) (Pareto, error) {
+	if len(xs) == 0 {
+		return Pareto{}, fmt.Errorf("dist: FitPareto: %w", mathx.ErrEmpty)
+	}
+	scale, _ := mathx.MinMax(xs)
+	if scale <= 0 {
+		return Pareto{}, fmt.Errorf("dist: FitPareto: non-positive minimum %v", scale)
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x / scale)
+	}
+	if s <= 0 {
+		// All samples equal the minimum: degenerate, return a steep tail.
+		return Pareto{Shape: math.Inf(1), Scale: scale}, nil
+	}
+	return Pareto{Shape: float64(len(xs)) / s, Scale: scale}, nil
+}
+
+// FitParetoFixedShape returns the Pareto with the given shape whose
+// scale maximizes the likelihood under the constraint (scale = min x).
+// The paper fixes shape b = 1.765 for off-peak arrivals and varies only
+// the scale across antennas (§5.1).
+func FitParetoFixedShape(xs []float64, shape float64) (Pareto, error) {
+	if len(xs) == 0 {
+		return Pareto{}, fmt.Errorf("dist: FitParetoFixedShape: %w", mathx.ErrEmpty)
+	}
+	if shape <= 0 {
+		return Pareto{}, fmt.Errorf("dist: FitParetoFixedShape: non-positive shape %v", shape)
+	}
+	scale, _ := mathx.MinMax(xs)
+	if scale <= 0 {
+		scale = 1e-9
+	}
+	return Pareto{Shape: shape, Scale: scale}, nil
+}
+
+// FitExponential returns the maximum-likelihood Exponential (rate =
+// 1/mean) for non-negative samples.
+func FitExponential(xs []float64) (Exponential, error) {
+	if len(xs) == 0 {
+		return Exponential{}, fmt.Errorf("dist: FitExponential: %w", mathx.ErrEmpty)
+	}
+	m := mathx.Mean(xs)
+	if m <= 0 {
+		return Exponential{}, fmt.Errorf("dist: FitExponential: non-positive mean %v", m)
+	}
+	return Exponential{Rate: 1 / m}, nil
+}

@@ -1,0 +1,630 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobiletraffic/internal/cluster"
+	"mobiletraffic/internal/core"
+	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/fit"
+	"mobiletraffic/internal/mathx"
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+	"mobiletraffic/internal/services"
+)
+
+// --- Fig. 3: session arrival PDFs per BS load decile -----------------
+
+// Fig3Decile is the fitted bi-modal arrival model of one load decile.
+type Fig3Decile struct {
+	Decile            int
+	Model             *core.ArrivalModel
+	EmpiricalPeakMean float64
+	EmpiricalOffMean  float64
+}
+
+// Fig3Result reproduces Fig. 3: arrival-rate fits for every decile plus
+// the cross-decile regularities of §5.1.
+type Fig3Result struct {
+	Deciles []Fig3Decile
+	// MuGrowth and ScaleGrowth are the exponential per-decile growth
+	// factors of the Gaussian mean and Pareto scale ("similar rate").
+	MuGrowth, ScaleGrowth float64
+}
+
+// ExpFig3 fits the bi-modal arrival model per BS load decile.
+func ExpFig3(env *Env) (*Fig3Result, error) {
+	out := &Fig3Result{}
+	var mus, scales []float64
+	for d := 0; d < 10; d++ {
+		filter := probe.BSIn(env.Topo.ByDecile(d))
+		peak := env.Coll.MinuteCountSamples(filter, netsim.IsPeakMinute)
+		off := env.Coll.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
+		out.Deciles = append(out.Deciles, Fig3Decile{
+			Decile:            d,
+			Model:             env.Arrivals[d],
+			EmpiricalPeakMean: mathx.Mean(peak),
+			EmpiricalOffMean:  mathx.Mean(off),
+		})
+		mus = append(mus, env.Arrivals[d].PeakMu)
+		scales = append(scales, math.Max(env.Arrivals[d].OffScale, 1e-6))
+	}
+	var err error
+	if out.MuGrowth, err = core.ArrivalGrowthRate(mus); err != nil {
+		return nil, err
+	}
+	if out.ScaleGrowth, err = core.ArrivalGrowthRate(scales); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Table renders the Fig. 3 result.
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 3 — bi-modal session arrivals per BS load decile",
+		Header: []string{"decile", "peak mu", "peak sigma", "sigma/mu", "pareto scale", "emp day mean", "emp night mean"},
+	}
+	for _, d := range r.Deciles {
+		t.AddRow(d.Decile+1, d.Model.PeakMu, d.Model.PeakSigma, d.Model.SigmaRatio(),
+			d.Model.OffScale, d.EmpiricalPeakMean, d.EmpiricalOffMean)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("per-decile growth: mu x%.3f, pareto scale x%.3f (paper: similar exponential rates)", r.MuGrowth, r.ScaleGrowth),
+		"expected shape: sigma/mu ~ 0.1 in every decile; Pareto shape fixed at 1.765")
+	return t
+}
+
+// --- Fig. 4: service ranking by session share ------------------------
+
+// Fig4Result reproduces Fig. 4: services ranked by session fraction
+// follow a negative exponential (paper R² = 0.97) while traffic shares
+// scatter.
+type Fig4Result struct {
+	Names        []string
+	SessionFrac  []float64
+	TrafficFrac  []float64
+	ExpA, ExpB   float64
+	R2           float64
+	Top20Percent float64 // share of sessions from the top 20 services
+}
+
+// ExpFig4 ranks the services and fits the exponential law.
+func ExpFig4(env *Env) (*Fig4Result, error) {
+	share, _, err := env.Coll.SessionShare(nil)
+	if err != nil {
+		return nil, err
+	}
+	traffic, _, err := env.Coll.TrafficShare(nil)
+	if err != nil {
+		return nil, err
+	}
+	type entry struct {
+		name     string
+		sessions float64
+		traffic  float64
+	}
+	entries := make([]entry, len(share))
+	for i := range share {
+		entries[i] = entry{env.Catalog[i].Name, share[i], traffic[i]}
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].sessions > entries[j].sessions })
+	out := &Fig4Result{}
+	var ranks []float64
+	for i, e := range entries {
+		out.Names = append(out.Names, e.name)
+		out.SessionFrac = append(out.SessionFrac, e.sessions)
+		out.TrafficFrac = append(out.TrafficFrac, e.traffic)
+		ranks = append(ranks, float64(i))
+		if i < 20 {
+			out.Top20Percent += e.sessions
+		}
+	}
+	curve, err := fit.FitExpCurve(ranks, out.SessionFrac)
+	if err != nil {
+		return nil, err
+	}
+	out.ExpA, out.ExpB, out.R2 = curve.A, curve.B, curve.R2
+	return out, nil
+}
+
+// Table renders the Fig. 4 result.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 4 — services ranked by fraction of sessions",
+		Header: []string{"rank", "service", "session frac", "traffic frac"},
+	}
+	for i := range r.Names {
+		t.AddRow(i+1, r.Names[i], r.SessionFrac[i], r.TrafficFrac[i])
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("negative exponential fit: %.4g * exp(%.4g * rank), R2 = %.3f (paper: R2 = 0.97)", r.ExpA, r.ExpB, r.R2),
+		fmt.Sprintf("top-20 services carry %.1f%% of sessions (paper: over 78%%)", r.Top20Percent*100))
+	return t
+}
+
+// --- Fig. 5 / Fig. 7: per-service PDFs and duration-volume pairs -----
+
+// ServicePDFSummary condenses one service's session-level statistics:
+// the Fig. 5/7 panels reduced to comparable numbers.
+type ServicePDFSummary struct {
+	Name string
+	// Volume PDF statistics in the log10-bytes domain.
+	Mode, Mean, Std float64
+	// WorkdayWeekendEMD is the distance between the workday and weekend
+	// volume PDFs (expected tiny, §4.4).
+	WorkdayWeekendEMD float64
+	// PairBeta is the power-law exponent of the duration-volume pairs.
+	PairBeta float64
+}
+
+// Fig5Result reproduces Fig. 5 (and Fig. 7 with its two services): the
+// archetypal per-service session statistics.
+type Fig5Result struct {
+	Services []ServicePDFSummary
+}
+
+// ExpFig5 summarizes the six Fig. 5 services.
+func ExpFig5(env *Env) (*Fig5Result, error) {
+	return servicePDFs(env, []string{"Netflix", "Twitch", "Deezer", "Amazon", "Pokemon GO", "Waze"})
+}
+
+// ExpFig7 summarizes the Facebook Live / Facebook contrast of Fig. 7.
+func ExpFig7(env *Env) (*Fig5Result, error) {
+	return servicePDFs(env, []string{"FB Live", "Facebook"})
+}
+
+func servicePDFs(env *Env, names []string) (*Fig5Result, error) {
+	out := &Fig5Result{}
+	durations := env.Coll.DurationCenters()
+	for _, name := range names {
+		svc, err := env.serviceIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		all, _, err := env.Coll.AggregateVolume(probe.ForService(svc))
+		if err != nil {
+			return nil, err
+		}
+		s := ServicePDFSummary{
+			Name: name,
+			Mode: all.Mode(),
+			Mean: all.Mean(),
+			Std:  all.Std(),
+		}
+		// Workday/weekend comparison when both day types exist.
+		wd, _, errWd := env.Coll.AggregateVolume(probe.And(probe.ForService(svc), probe.Weekdays()))
+		we, _, errWe := env.Coll.AggregateVolume(probe.And(probe.ForService(svc), probe.Weekends()))
+		if errWd == nil && errWe == nil {
+			if emd, err := dist.EMD(wd, we); err == nil {
+				s.WorkdayWeekendEMD = emd
+			}
+		}
+		values, counts, err := env.Coll.AggregatePairs(probe.ForService(svc))
+		if err != nil {
+			return nil, err
+		}
+		dm, err := core.FitDurationModel(durations, values, counts)
+		if err == nil {
+			s.PairBeta = dm.Beta
+		}
+		out.Services = append(out.Services, s)
+	}
+	return out, nil
+}
+
+// Table renders per-service PDF summaries.
+func (r *Fig5Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 5/7 — per-service volume PDFs and duration-volume pairs",
+		Header: []string{"service", "mode (log10 B)", "mean (log10 B)", "std", "workday/weekend EMD", "pair beta"},
+	}
+	for _, s := range r.Services {
+		t.AddRow(s.Name, s.Mode, s.Mean, s.Std, s.WorkdayWeekendEMD, s.PairBeta)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: streaming services mode >= ~1 MB with super-linear beta; interactive services light with sub-linear beta",
+		"workday/weekend EMD must be far below inter-service distances (Fig. 8)")
+	return t
+}
+
+// --- Fig. 6: service similarity clustering ---------------------------
+
+// Fig6Result reproduces Fig. 6: the EMD similarity matrix over
+// zero-mean-normalized volume PDFs, the hierarchical clustering and the
+// silhouette profile.
+type Fig6Result struct {
+	Names []string
+	// Dist is the row-major pairwise EMD matrix.
+	Dist []float64
+	// LabelsK3 is the cluster assignment at the paper's k = 3.
+	LabelsK3 []int
+	// Silhouette[k-2] is the score at k clusters, k = 2..maxK.
+	Silhouette []float64
+	// StreamingPairAgreement is the fraction of same-class service
+	// pairs (ground truth streaming vs non-streaming) that the k=3
+	// clustering puts in the same cluster, and of cross-class pairs it
+	// separates — the streaming/lightweight dichotomy check.
+	StreamingPairAgreement float64
+}
+
+// canonicalCenteredEdges is the shared grid for zero-mean PDFs.
+var canonicalCenteredEdges = mathx.LinSpace(-5, 5, 401)
+
+// normalizedServicePDFs returns zero-mean volume PDFs for every modeled
+// service with enough sessions, plus their names, weights and ground
+// truth classes.
+func normalizedServicePDFs(env *Env, filter probe.KeyFilter) (names []string, pdfs []*dist.Hist, weights []float64, classes []services.Class, err error) {
+	for svc, prof := range env.Catalog {
+		f := probe.ForService(svc)
+		if filter != nil {
+			f = probe.And(f, filter)
+		}
+		h, w, aerr := env.Coll.AggregateVolume(f)
+		if aerr != nil || w < 200 {
+			continue
+		}
+		c, cerr := h.ShiftToZeroMean(canonicalCenteredEdges)
+		if cerr != nil {
+			continue
+		}
+		names = append(names, prof.Name)
+		pdfs = append(pdfs, c)
+		weights = append(weights, w)
+		classes = append(classes, prof.Class)
+	}
+	if len(pdfs) < 4 {
+		return nil, nil, nil, nil, fmt.Errorf("experiments: only %d services have enough sessions to cluster", len(pdfs))
+	}
+	return names, pdfs, weights, classes, nil
+}
+
+// ExpFig6 clusters the normalized per-service PDFs.
+func ExpFig6(env *Env) (*Fig6Result, error) {
+	names, pdfs, weights, classes, err := normalizedServicePDFs(env, nil)
+	if err != nil {
+		return nil, err
+	}
+	n := len(pdfs)
+	dm := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := dist.EMD(pdfs[i], pdfs[j])
+			if err != nil {
+				return nil, err
+			}
+			dm[i*n+j] = d
+			dm[j*n+i] = d
+		}
+	}
+	dend, err := cluster.Agglomerate(pdfs, weights,
+		func(a, b *dist.Hist) (float64, error) { return dist.EMD(a, b) },
+		func(a, b *dist.Hist, wa, wb float64) (*dist.Hist, error) {
+			return dist.MixHists([]*dist.Hist{a, b}, []float64{wa, wb})
+		})
+	if err != nil {
+		return nil, err
+	}
+	labels, err := dend.CutK(3)
+	if err != nil {
+		return nil, err
+	}
+	maxK := 10
+	if maxK > n {
+		maxK = n
+	}
+	prof, err := cluster.SilhouetteProfile(dend, dm, maxK)
+	if err != nil {
+		return nil, err
+	}
+	// Pair agreement against the streaming / non-streaming dichotomy.
+	var agree, total float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameClass := (classes[i] == services.Streaming) == (classes[j] == services.Streaming)
+			sameCluster := labels[i] == labels[j]
+			if classes[i] == services.Outlier || classes[j] == services.Outlier {
+				continue
+			}
+			total++
+			if sameClass == sameCluster {
+				agree++
+			}
+		}
+	}
+	out := &Fig6Result{Names: names, Dist: dm, LabelsK3: labels, Silhouette: prof}
+	if total > 0 {
+		out.StreamingPairAgreement = agree / total
+	}
+	return out, nil
+}
+
+// Table renders the Fig. 6 result.
+func (r *Fig6Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 6 — service clustering on normalized volume PDFs",
+		Header: []string{"service", "cluster@k=3"},
+	}
+	for i, n := range r.Names {
+		t.AddRow(n, r.LabelsK3[i])
+	}
+	sil := make([]string, len(r.Silhouette))
+	for i, s := range r.Silhouette {
+		sil[i] = fmt.Sprintf("k=%d:%.3f", i+2, s)
+	}
+	t.Notes = append(t.Notes,
+		"silhouette profile: "+joinStrings(sil, " "),
+		fmt.Sprintf("streaming/lightweight pair agreement at k=3: %.2f (paper: two major behaviours + outliers)", r.StreamingPairAgreement))
+	return t
+}
+
+func joinStrings(ss []string, sep string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += sep
+		}
+		out += s
+	}
+	return out
+}
+
+// --- Fig. 8: invariance across days, space and technology ------------
+
+// BoxStats summarizes a distance distribution as boxplot statistics.
+type BoxStats struct {
+	Tag                     string
+	P5, Q1, Median, Q3, P95 float64
+	N                       int
+}
+
+func boxOf(tag string, vals []float64) BoxStats {
+	if len(vals) == 0 {
+		return BoxStats{Tag: tag}
+	}
+	qs := mathx.Percentiles(vals, []float64{0.05, 0.25, 0.5, 0.75, 0.95})
+	return BoxStats{Tag: tag, P5: qs[0], Q1: qs[1], Median: qs[2], Q3: qs[3], P95: qs[4], N: len(vals)}
+}
+
+// Fig8Result reproduces Fig. 8: EMD (volume PDFs) and SED
+// (duration-volume pairs) distributions across comparison dimensions.
+// The paper's shape: 'Apps' distances dwarf all within-service
+// dimensions (Days, Regions, Cities, RATs).
+type Fig8Result struct {
+	EMD []BoxStats
+	SED []BoxStats
+}
+
+// pairSED computes the log-domain squared distance between two pair
+// vectors over bins populated in both, normalized per bin.
+func pairSED(a, b []float64) (float64, bool) {
+	var la, lb []float64
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) || a[i] <= 0 || b[i] <= 0 {
+			continue
+		}
+		la = append(la, math.Log10(a[i]))
+		lb = append(lb, math.Log10(b[i]))
+	}
+	if len(la) < 5 {
+		return 0, false
+	}
+	s, err := dist.SED(la, lb)
+	if err != nil {
+		return 0, false
+	}
+	return s / float64(len(la)), true
+}
+
+// ExpFig8 computes the per-dimension distance distributions.
+func ExpFig8(env *Env) (*Fig8Result, error) {
+	out := &Fig8Result{}
+
+	// Dimension splits: each produces a list of (name, filter) groups
+	// compared pairwise within a service.
+	dims := []struct {
+		tag    string
+		groups []probe.KeyFilter
+	}{
+		{"Days", []probe.KeyFilter{probe.Weekdays(), probe.Weekends()}},
+		{"Regions", regionFilters(env)},
+		{"Cities", cityFilters(env)},
+		{"RATs", ratFilters(env)},
+	}
+
+	// Apps: pairwise distances between different services (normalized
+	// PDFs for EMD; raw pair vectors for SED).
+	appsEMD, appsSED, err := interServiceDistances(env, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.EMD = append(out.EMD, boxOf("Apps", appsEMD))
+	out.SED = append(out.SED, boxOf("Apps", appsSED))
+
+	for _, dim := range dims {
+		var emds, seds []float64
+		for svc := range env.Catalog {
+			var hists []*dist.Hist
+			var pairs [][]float64
+			for _, g := range dim.groups {
+				f := probe.And(probe.ForService(svc), g)
+				h, w, err := env.Coll.AggregateVolume(f)
+				if err != nil || w < 200 {
+					continue
+				}
+				v, _, err := env.Coll.AggregatePairs(f)
+				if err != nil {
+					continue
+				}
+				hists = append(hists, h)
+				pairs = append(pairs, v)
+			}
+			for i := 0; i < len(hists); i++ {
+				for j := i + 1; j < len(hists); j++ {
+					if d, err := dist.EMD(hists[i], hists[j]); err == nil {
+						emds = append(emds, d)
+					}
+					if s, ok := pairSED(pairs[i], pairs[j]); ok {
+						seds = append(seds, s)
+					}
+				}
+			}
+		}
+		out.EMD = append(out.EMD, boxOf(dim.tag, emds))
+		out.SED = append(out.SED, boxOf(dim.tag, seds))
+	}
+
+	// Apps broken down per RAT ("Apps (4G)", "Apps (5G)").
+	for _, rat := range []netsim.RAT{netsim.RAT4G, netsim.RAT5G} {
+		filter := probe.BSIn(env.Topo.ByRAT(rat))
+		emds, seds, err := interServiceDistances(env, filter)
+		if err != nil {
+			continue
+		}
+		tag := fmt.Sprintf("Apps (%s)", rat)
+		out.EMD = append(out.EMD, boxOf(tag, emds))
+		out.SED = append(out.SED, boxOf(tag, seds))
+	}
+	return out, nil
+}
+
+func interServiceDistances(env *Env, filter probe.KeyFilter) (emds, seds []float64, err error) {
+	_, pdfs, _, _, err := normalizedServicePDFs(env, filter)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pairVecs [][]float64
+	for svc := range env.Catalog {
+		f := probe.ForService(svc)
+		if filter != nil {
+			f = probe.And(f, filter)
+		}
+		v, _, err := env.Coll.AggregatePairs(f)
+		if err != nil {
+			continue
+		}
+		pairVecs = append(pairVecs, v)
+	}
+	for i := 0; i < len(pdfs); i++ {
+		for j := i + 1; j < len(pdfs); j++ {
+			if d, derr := dist.EMD(pdfs[i], pdfs[j]); derr == nil {
+				emds = append(emds, d)
+			}
+		}
+	}
+	for i := 0; i < len(pairVecs); i++ {
+		for j := i + 1; j < len(pairVecs); j++ {
+			if s, ok := pairSED(pairVecs[i], pairVecs[j]); ok {
+				seds = append(seds, s)
+			}
+		}
+	}
+	return emds, seds, nil
+}
+
+func regionFilters(env *Env) []probe.KeyFilter {
+	var out []probe.KeyFilter
+	for _, r := range []netsim.Region{netsim.Urban, netsim.SemiUrban, netsim.Rural} {
+		out = append(out, probe.BSIn(env.Topo.ByRegion(r)))
+	}
+	return out
+}
+
+func cityFilters(env *Env) []probe.KeyFilter {
+	var out []probe.KeyFilter
+	for c := 0; c < 5; c++ {
+		idx := env.Topo.ByCity(c)
+		if len(idx) > 0 {
+			out = append(out, probe.BSIn(idx))
+		}
+	}
+	return out
+}
+
+func ratFilters(env *Env) []probe.KeyFilter {
+	return []probe.KeyFilter{
+		probe.BSIn(env.Topo.ByRAT(netsim.RAT4G)),
+		probe.BSIn(env.Topo.ByRAT(netsim.RAT5G)),
+	}
+}
+
+// Table renders the Fig. 8 result.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig. 8 — session-level invariance across days, space and technology",
+		Header: []string{"metric", "dimension", "p5", "q1", "median", "q3", "p95", "n"},
+	}
+	for _, b := range r.EMD {
+		t.AddRow("EMD", b.Tag, b.P5, b.Q1, b.Median, b.Q3, b.P95, b.N)
+	}
+	for _, b := range r.SED {
+		t.AddRow("SED", b.Tag, b.P5, b.Q1, b.Median, b.Q3, b.P95, b.N)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: 'Apps' medians an order of magnitude above Days/Regions/Cities/RATs medians")
+	return t
+}
+
+// --- Table 1: session and traffic shares -----------------------------
+
+// Table1Row is one service's measured shares and CVs.
+type Table1Row struct {
+	Name             string
+	SessionPct       float64
+	SessionCV        float64
+	TrafficPct       float64
+	TrafficCV        float64
+	SeededSessionPct float64
+	SeededTrafficPct float64
+}
+
+// Table1Result reproduces Table 1 from the simulated measurements and
+// reports the seeded ground truth next to it.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// ExpTable1 measures the shares.
+func ExpTable1(env *Env) (*Table1Result, error) {
+	share, shareCV, err := env.Coll.SessionShare(nil)
+	if err != nil {
+		return nil, err
+	}
+	traffic, trafficCV, err := env.Coll.TrafficShare(nil)
+	if err != nil {
+		return nil, err
+	}
+	var seededTotal float64
+	for _, p := range env.Catalog {
+		seededTotal += p.SessionSharePct
+	}
+	out := &Table1Result{}
+	for i, p := range env.Catalog {
+		out.Rows = append(out.Rows, Table1Row{
+			Name:             p.Name,
+			SessionPct:       share[i] * 100,
+			SessionCV:        shareCV[i],
+			TrafficPct:       traffic[i] * 100,
+			TrafficCV:        trafficCV[i],
+			SeededSessionPct: p.SessionSharePct / seededTotal * 100,
+			SeededTrafficPct: p.TrafficSharePct,
+		})
+	}
+	return out, nil
+}
+
+// Table renders Table 1.
+func (r *Table1Result) Table() *Table {
+	t := &Table{
+		Title:  "Table 1 — per-service session and traffic shares",
+		Header: []string{"service", "sessions %", "CV", "traffic %", "CV", "seeded sessions %", "paper traffic %"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.SessionPct, row.SessionCV, row.TrafficPct, row.TrafficCV,
+			row.SeededSessionPct, row.SeededTrafficPct)
+	}
+	t.Notes = append(t.Notes, "expected shape: measured session shares track the seeded Table 1 column closely; traffic shares scatter more (higher CV)")
+	return t
+}

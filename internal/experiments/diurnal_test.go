@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpDiurnal(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpDiurnal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.HourlyAll) != 24 || len(r.HourlyFirst) != 24 || len(r.HourlyLast) != 24 {
+		t.Fatal("profile shape")
+	}
+	// Circadian shape: afternoon rates well above pre-dawn rates.
+	if r.HourlyAll[14] < 3*r.HourlyAll[3] {
+		t.Errorf("2pm rate %v not well above 3am rate %v", r.HourlyAll[14], r.HourlyAll[3])
+	}
+	if r.DayNightAll < 3 {
+		t.Errorf("day/night ratio = %v", r.DayNightAll)
+	}
+	// The decile structure survives aggregation: busiest decile far
+	// above the lightest at any hour.
+	for h := 0; h < 24; h++ {
+		if r.HourlyLast[h] < r.HourlyFirst[h] {
+			t.Errorf("hour %d: decile 10 (%v) below decile 1 (%v)",
+				h, r.HourlyLast[h], r.HourlyFirst[h])
+		}
+	}
+	if !strings.Contains(r.Table().Render(), "circadian") {
+		t.Error("table render")
+	}
+}
+
+// Robustness: the pipeline copes with extreme configurations.
+func TestEnvRobustness(t *testing.T) {
+	t.Run("single day", func(t *testing.T) {
+		env, err := NewEnv(Config{NumBS: 12, Days: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ExpFig3(env); err != nil {
+			t.Errorf("fig3 on 1 day: %v", err)
+		}
+		if _, err := ExpTable1(env); err != nil {
+			t.Errorf("table1 on 1 day: %v", err)
+		}
+		// Weekend-dependent splits degrade gracefully (no weekend days
+		// in a 1-day campaign): Fig. 5 reports zero EMD rather than
+		// failing.
+		if _, err := ExpFig5(env); err != nil {
+			t.Errorf("fig5 on 1 day: %v", err)
+		}
+	})
+
+	t.Run("extreme mobility", func(t *testing.T) {
+		env, err := NewEnv(Config{NumBS: 12, Days: 1, Seed: 6, MoveProb: 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fitting still succeeds and the heavy services stay modeled.
+		if len(env.Models.Services) < 10 {
+			t.Errorf("only %d services modeled at 90%% transients", len(env.Models.Services))
+		}
+		if _, err := ExpFig10(env); err != nil {
+			t.Errorf("fig10 at 90%% transients: %v", err)
+		}
+	})
+
+	t.Run("minimum topology", func(t *testing.T) {
+		env, err := NewEnv(Config{NumBS: 10, Days: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ExpDiurnal(env); err != nil {
+			t.Errorf("diurnal on 10 BSs: %v", err)
+		}
+	})
+}

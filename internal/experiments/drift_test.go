@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExpDriftDetectsPlantedChanges(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpDrift(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The removed and added services show up in the set differences.
+	foundRemoved, foundAdded := false, false
+	for _, n := range r.Comparison.OnlyInA {
+		if n == r.RemovedService {
+			foundRemoved = true
+		}
+	}
+	for _, n := range r.Comparison.OnlyInB {
+		if n == r.AddedService {
+			foundAdded = true
+		}
+	}
+	if !foundRemoved {
+		t.Errorf("removed service %s not flagged (onlyInA = %v)", r.RemovedService, r.Comparison.OnlyInA)
+	}
+	if !foundAdded {
+		t.Errorf("added service %s not flagged (onlyInB = %v)", r.AddedService, r.Comparison.OnlyInB)
+	}
+	// The shifted service's volume-trend delta must reflect the planted
+	// +0.5 decade shift far above the baseline noise.
+	var shiftedDelta float64
+	for _, d := range r.Comparison.Deltas {
+		if d.Name == r.ShiftedService {
+			shiftedDelta = d.DeltaMu
+		}
+	}
+	if math.Abs(shiftedDelta-r.PlantedMuShift) > 0.25 {
+		t.Errorf("detected mu drift %v, planted %v", shiftedDelta, r.PlantedMuShift)
+	}
+	// The planted behavioural change dominates the drift ranking: the
+	// shifted service's volume-trend delta is the largest of all
+	// services (undrifted ones only carry refit noise).
+	for _, d := range r.Comparison.Deltas {
+		if d.Name != r.ShiftedService && d.DeltaMu >= shiftedDelta {
+			t.Errorf("%s drift (|d mu| %v) unexpectedly exceeds the planted %s drift (%v)",
+				d.Name, d.DeltaMu, r.ShiftedService, shiftedDelta)
+		}
+	}
+	// Undrifted services stay near the within-campaign noise floor.
+	if r.Comparison.MedianDeltaBeta > 0.05 {
+		t.Errorf("median drift %v too large for mostly-unchanged catalogs", r.Comparison.MedianDeltaBeta)
+	}
+	if !strings.Contains(r.Table().Render(), "model aging") {
+		t.Error("table render")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpAppLayer(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpAppLayer(env, 0) // default gap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IdleGap != 30 {
+		t.Errorf("default idle gap = %v", r.IdleGap)
+	}
+	if r.Flows == 0 || len(r.Rows) < 2 {
+		t.Fatalf("result shape: %+v", r)
+	}
+	for _, row := range r.Rows {
+		if row.AppSessions <= 0 || row.MeanFlows < 1 || row.MeanParallel < 1 {
+			t.Errorf("invalid class row %+v", row)
+		}
+		// App sessions merge flows, so the mean is bounded by the
+		// per-UE flow counts of a 4-hour horizon.
+		if row.MeanFlows > 1000 {
+			t.Errorf("implausible flows/session: %+v", row)
+		}
+	}
+	if !strings.Contains(r.Table().Render(), "app sessions") {
+		t.Error("table render")
+	}
+}
+
+func TestExpStabilityDayInvariance(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpStability(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Comparison.Deltas) < 15 {
+		t.Fatalf("compared %d services", len(r.Comparison.Deltas))
+	}
+	// §4.4: day ranges of the same campaign must produce nearly
+	// identical released parameters.
+	if r.Comparison.MedianDeltaMu > 0.05 {
+		t.Errorf("median |d mu| = %v, want ~0", r.Comparison.MedianDeltaMu)
+	}
+	if r.Comparison.MedianDeltaBeta > 0.05 {
+		t.Errorf("median |d beta| = %v, want ~0", r.Comparison.MedianDeltaBeta)
+	}
+	if !strings.Contains(r.Table().Render(), "temporal stability") {
+		t.Error("table render")
+	}
+}
+
+func TestExpStabilityNeedsDays(t *testing.T) {
+	env := sharedEnv(t)
+	saved := env.Config.Days
+	env.Config.Days = 1
+	if _, err := ExpStability(env); err == nil {
+		t.Error("single-day stability must error")
+	}
+	env.Config.Days = saved
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/netsim"
+)
+
+// FidelityRow compares model-generated sessions against measured ones
+// for one service, over the three statistics §5.4 says the released
+// models reproduce: traffic volume, duration and average throughput.
+// Distances are two-sample Kolmogorov-Smirnov statistics in the log10
+// domain (0 = indistinguishable, 1 = disjoint).
+type FidelityRow struct {
+	Name         string
+	Samples      int
+	KSVolume     float64
+	KSDuration   float64
+	KSThroughput float64
+	MeanVolRatio float64 // generated mean volume / measured mean volume
+}
+
+// FidelityResult is the generator-fidelity experiment output.
+type FidelityResult struct {
+	Rows []FidelityRow
+}
+
+// ExpFidelity draws measured sessions from the simulated campaign and
+// synthetic sessions from the fitted models, then compares their
+// volume, duration and throughput distributions per service. services
+// defaults to the six Fig. 5 services when empty; samples defaults to
+// 20000 when <= 0.
+func ExpFidelity(env *Env, names []string, samples int) (*FidelityResult, error) {
+	if len(names) == 0 {
+		names = []string{"Netflix", "Twitch", "Deezer", "Amazon", "Facebook", "Waze"}
+	}
+	if samples <= 0 {
+		samples = 20000
+	}
+	out := &FidelityResult{}
+	rng := rand.New(rand.NewSource(env.Config.Seed ^ 0xf1de))
+	for _, name := range names {
+		svc, err := env.serviceIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		model, err := env.Models.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s not modeled", name)
+		}
+		// Measured sessions: replay simulator days until enough samples.
+		var mVol, mDur, mTput []float64
+		for day := 0; day < env.Config.Days && len(mVol) < samples; day++ {
+			for bs := 0; bs < len(env.Topo.BSs) && len(mVol) < samples; bs++ {
+				err := env.Sim.GenerateDay(bs, day, func(s netsim.Session) {
+					if s.Service != svc || len(mVol) >= samples {
+						return
+					}
+					mVol = append(mVol, math.Log10(s.Volume))
+					mDur = append(mDur, math.Log10(s.Duration))
+					mTput = append(mTput, math.Log10(s.Volume/s.Duration))
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(mVol) < 100 {
+			continue // not enough measured sessions to compare
+		}
+		// Generated sessions.
+		gVol := make([]float64, len(mVol))
+		gDur := make([]float64, len(mVol))
+		gTput := make([]float64, len(mVol))
+		var mSum, gSum float64
+		for i := range gVol {
+			s := model.Generate(rng)
+			gVol[i] = math.Log10(s.Volume)
+			gDur[i] = math.Log10(s.Duration)
+			gTput[i] = math.Log10(s.Throughput)
+			gSum += s.Volume
+			mSum += math.Pow(10, mVol[i])
+		}
+		row := FidelityRow{Name: name, Samples: len(mVol)}
+		if row.KSVolume, _, err = dist.KSTwoSample(mVol, gVol); err != nil {
+			return nil, err
+		}
+		if row.KSDuration, _, err = dist.KSTwoSample(mDur, gDur); err != nil {
+			return nil, err
+		}
+		if row.KSThroughput, _, err = dist.KSTwoSample(mTput, gTput); err != nil {
+			return nil, err
+		}
+		if mSum > 0 {
+			row.MeanVolRatio = gSum / mSum
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if len(out.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: no service had enough measured sessions for fidelity")
+	}
+	return out, nil
+}
+
+// Table renders the fidelity result.
+func (r *FidelityResult) Table() *Table {
+	t := &Table{
+		Title:  "Extension — generator fidelity (§5.4: volume, duration, throughput)",
+		Header: []string{"service", "samples", "KS volume", "KS duration", "KS throughput", "mean volume ratio"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, row.Samples, row.KSVolume, row.KSDuration, row.KSThroughput, row.MeanVolRatio)
+	}
+	t.Notes = append(t.Notes,
+		"KS statistics in the log10 domain; volume tracks the fitted mixture closely,",
+		"duration/throughput inherit extra spread from the deterministic power-law inverse plus generation noise")
+	return t
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpFidelity(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpFidelity(env, nil, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Samples < 1000 {
+			t.Errorf("%s: only %d samples", row.Name, row.Samples)
+		}
+		// §5.4: the released models reproduce the volume statistics
+		// closely; duration and throughput inherit extra spread from
+		// the deterministic power-law inverse.
+		if row.KSVolume > 0.1 {
+			t.Errorf("%s: KS volume = %v", row.Name, row.KSVolume)
+		}
+		if row.KSDuration > 0.2 {
+			t.Errorf("%s: KS duration = %v", row.Name, row.KSDuration)
+		}
+		if row.KSThroughput > 0.45 {
+			t.Errorf("%s: KS throughput = %v", row.Name, row.KSThroughput)
+		}
+		// Byte-domain means agree within the tail-extrapolation factor
+		// of the widest fitted services.
+		if row.MeanVolRatio < 0.7 || row.MeanVolRatio > 2.2 {
+			t.Errorf("%s: mean volume ratio = %v", row.Name, row.MeanVolRatio)
+		}
+	}
+	if !strings.Contains(r.Table().Render(), "generator fidelity") {
+		t.Error("table render")
+	}
+}
+
+func TestExpFidelityUnknownService(t *testing.T) {
+	env := sharedEnv(t)
+	if _, err := ExpFidelity(env, []string{"NoSuchApp"}, 100); err == nil {
+		t.Error("unknown service must error")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+)
+
+// collectParallel runs the measurement campaign with one worker per
+// CPU: each worker simulates whole base stations into its own collector
+// and the partial collectors are merged afterwards. The per-(BS, day)
+// random streams of the simulator are independent, and merging is
+// order-insensitive, so the result is bit-identical to a serial run.
+func collectParallel(sim *netsim.Simulator, days int) (*probe.Collector, error) {
+	numBS := len(sim.Topo.BSs)
+	workers := runtime.NumCPU()
+	if workers > numBS {
+		workers = numBS
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	tasks := make(chan int)
+	partials := make([]*probe.Collector, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		coll, err := probe.NewCollector(len(sim.Services))
+		if err != nil {
+			return nil, err
+		}
+		partials[w] = coll
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for bs := range tasks {
+				for day := 0; day < days; day++ {
+					if errs[w] != nil {
+						return
+					}
+					err := sim.GenerateDay(bs, day, func(s netsim.Session) {
+						if errs[w] == nil {
+							errs[w] = partials[w].Observe(s)
+						}
+					})
+					if err != nil && errs[w] == nil {
+						errs[w] = err
+					}
+				}
+			}
+		}(w)
+	}
+	for bs := 0; bs < numBS; bs++ {
+		tasks <- bs
+	}
+	close(tasks)
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", w, err)
+		}
+	}
+	out := partials[0]
+	for _, p := range partials[1:] {
+		if err := out.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// PowerLaw is a fitted power law y = Alpha * x^Beta, the model family
+// the paper selects for duration-volume pairs v_s(d) = alpha_s *
+// d^beta_s (§5.3). Beta > 1 indicates sessions whose mean throughput
+// grows with duration (streaming); Beta < 1 the opposite.
+type PowerLaw struct {
+	Alpha float64
+	Beta  float64
+	R2    float64
+}
+
+// Eval returns Alpha * x^Beta.
+func (p PowerLaw) Eval(x float64) float64 { return p.Alpha * math.Pow(x, p.Beta) }
+
+// Invert returns the x with Eval(x) = y; the paper uses this inverse to
+// obtain a session's duration from its sampled volume (§5.4).
+func (p PowerLaw) Invert(y float64) float64 {
+	if y <= 0 || p.Alpha <= 0 || p.Beta == 0 {
+		return math.NaN()
+	}
+	return math.Pow(y/p.Alpha, 1/p.Beta)
+}
+
+// FitPowerLaw fits y = alpha*x^beta to strictly positive paired data by
+// a log-log linear initialization refined with Levenberg-Marquardt in
+// the original space (matching the paper's use of LM non-linear least
+// squares). Weights (nil = uniform) apply to the LM refinement stage.
+func FitPowerLaw(xs, ys, ws []float64) (PowerLaw, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PowerLaw{}, fmt.Errorf("fit: power law needs >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	// Log-log OLS on the positive subset for the starting point.
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return PowerLaw{}, fmt.Errorf("fit: power law needs >= 2 strictly positive points, got %d", len(lx))
+	}
+	line, err := LinearFit(lx, ly)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	p0 := []float64{math.Exp(line.Intercept), line.Slope}
+
+	model := func(p []float64, x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		return p[0] * math.Pow(x, p[1])
+	}
+	res, err := LM(model, xs, ys, p0, &LMOptions{Weights: ws})
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	alpha, beta := res.Params[0], res.Params[1]
+	yhat := make([]float64, len(xs))
+	for i, x := range xs {
+		yhat[i] = model(res.Params, x)
+	}
+	return PowerLaw{Alpha: alpha, Beta: beta, R2: RSquaredWeighted(ys, yhat, ws)}, nil
+}
+
+// ExpCurve is a fitted exponential y = A * exp(B*x). With B < 0 it is
+// the negative exponential law the paper fits to the per-service
+// session-share ranking (§4.1, Fig. 4, R² = 0.97).
+type ExpCurve struct {
+	A  float64
+	B  float64
+	R2 float64
+}
+
+// Eval returns A * exp(B*x).
+func (e ExpCurve) Eval(x float64) float64 { return e.A * math.Exp(e.B*x) }
+
+// FitExpCurve fits y = A*exp(B*x) to data with strictly positive ys,
+// using a semi-log linear initialization refined with LM.
+func FitExpCurve(xs, ys []float64) (ExpCurve, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return ExpCurve{}, fmt.Errorf("fit: exp curve needs >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sly []float64
+	for i := range xs {
+		if ys[i] > 0 {
+			sx = append(sx, xs[i])
+			sly = append(sly, math.Log(ys[i]))
+		}
+	}
+	if len(sx) < 2 {
+		return ExpCurve{}, fmt.Errorf("fit: exp curve needs >= 2 positive observations, got %d", len(sx))
+	}
+	line, err := LinearFit(sx, sly)
+	if err != nil {
+		return ExpCurve{}, err
+	}
+	p0 := []float64{math.Exp(line.Intercept), line.Slope}
+	model := func(p []float64, x float64) float64 { return p[0] * math.Exp(p[1]*x) }
+	res, err := LM(model, xs, ys, p0, nil)
+	if err != nil {
+		return ExpCurve{}, err
+	}
+	yhat := make([]float64, len(xs))
+	for i, x := range xs {
+		yhat[i] = model(res.Params, x)
+	}
+	return ExpCurve{A: res.Params[0], B: res.Params[1], R2: RSquared(ys, yhat)}, nil
+}
+
+// GaussCurve is a fitted Gaussian bump y = A * exp(-(x-Mu)²/(2 Sigma²)),
+// used for the daytime mode of the arrival-rate PDF (§5.1).
+type GaussCurve struct {
+	A     float64
+	Mu    float64
+	Sigma float64
+	R2    float64
+}
+
+// Eval returns the Gaussian bump value at x.
+func (g GaussCurve) Eval(x float64) float64 {
+	if g.Sigma == 0 {
+		return 0
+	}
+	z := (x - g.Mu) / g.Sigma
+	return g.A * math.Exp(-z*z/2)
+}
+
+// FitGaussCurve fits an amplitude Gaussian to (xs, ys) with LM, seeded
+// by the empirical peak location, height and spread.
+func FitGaussCurve(xs, ys []float64) (GaussCurve, error) {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return GaussCurve{}, fmt.Errorf("fit: gaussian needs >= 3 paired points, got %d/%d", len(xs), len(ys))
+	}
+	// Seed: mode of y, and mass-weighted spread around it.
+	peak := 0
+	for i := range ys {
+		if ys[i] > ys[peak] {
+			peak = i
+		}
+	}
+	var sw, swx float64
+	for i := range xs {
+		w := math.Max(ys[i], 0)
+		sw += w
+		swx += w * xs[i]
+	}
+	mu := xs[peak]
+	if sw > 0 {
+		mu = swx / sw
+	}
+	var swd float64
+	for i := range xs {
+		w := math.Max(ys[i], 0)
+		d := xs[i] - mu
+		swd += w * d * d
+	}
+	sigma := 1.0
+	if sw > 0 && swd > 0 {
+		sigma = math.Sqrt(swd / sw)
+	}
+	p0 := []float64{math.Max(ys[peak], 1e-12), xs[peak], sigma}
+	model := func(p []float64, x float64) float64 {
+		if p[2] == 0 {
+			return 0
+		}
+		z := (x - p[1]) / p[2]
+		return p[0] * math.Exp(-z*z/2)
+	}
+	res, err := LM(model, xs, ys, p0, nil)
+	if err != nil {
+		return GaussCurve{}, err
+	}
+	yhat := make([]float64, len(xs))
+	for i, x := range xs {
+		yhat[i] = model(res.Params, x)
+	}
+	return GaussCurve{
+		A:     res.Params[0],
+		Mu:    res.Params[1],
+		Sigma: math.Abs(res.Params[2]),
+		R2:    RSquared(ys, yhat),
+	}, nil
+}

@@ -1,0 +1,214 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func TestFitPowerLawExact(t *testing.T) {
+	truth := PowerLaw{Alpha: 3, Beta: 1.4}
+	xs := mathx.LinSpace(1, 100, 60)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	got, err := FitPowerLaw(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Alpha-3) > 1e-4 || math.Abs(got.Beta-1.4) > 1e-5 {
+		t.Errorf("power law = %+v", got)
+	}
+	if got.R2 < 0.9999 {
+		t.Errorf("R2 = %v", got.R2)
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := PowerLaw{Alpha: 1e4, Beta: 0.6}
+	xs := mathx.LogSpace(0, 3, 80) // durations 1..1000 s
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x) * math.Exp(0.1*rng.NormFloat64())
+	}
+	got, err := FitPowerLaw(xs, ys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Beta-0.6) > 0.05 {
+		t.Errorf("beta = %v, want ~0.6", got.Beta)
+	}
+	if got.R2 < 0.8 {
+		t.Errorf("R2 = %v", got.R2)
+	}
+}
+
+func TestPowerLawInvert(t *testing.T) {
+	p := PowerLaw{Alpha: 2, Beta: 1.5}
+	for _, x := range []float64{0.5, 1, 10, 300} {
+		y := p.Eval(x)
+		if got := p.Invert(y); math.Abs(got-x)/x > 1e-9 {
+			t.Errorf("Invert(Eval(%v)) = %v", x, got)
+		}
+	}
+	if !math.IsNaN(p.Invert(-1)) {
+		t.Error("Invert of negative volume must be NaN")
+	}
+	if !math.IsNaN(PowerLaw{Alpha: 1, Beta: 0}.Invert(1)) {
+		t.Error("Invert with zero beta must be NaN")
+	}
+}
+
+func TestFitPowerLawValidation(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1}, []float64{1}, nil); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := FitPowerLaw([]float64{-1, -2, -3}, []float64{1, 2, 3}, nil); err == nil {
+		t.Error("all-negative x must error")
+	}
+}
+
+func TestFitExpCurve(t *testing.T) {
+	// The Fig. 4 scenario: service session shares decaying exponentially
+	// with rank.
+	truth := ExpCurve{A: 0.4, B: -0.15}
+	xs := mathx.LinSpace(0, 99, 100)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	got, err := FitExpCurve(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-0.4) > 1e-6 || math.Abs(got.B+0.15) > 1e-7 {
+		t.Errorf("exp curve = %+v", got)
+	}
+	if got.R2 < 0.999 {
+		t.Errorf("R2 = %v", got.R2)
+	}
+	if _, err := FitExpCurve([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point must error")
+	}
+	if _, err := FitExpCurve([]float64{1, 2}, []float64{-1, -2}); err == nil {
+		t.Error("non-positive ys must error")
+	}
+}
+
+func TestFitGaussCurve(t *testing.T) {
+	truth := GaussCurve{A: 2, Mu: 5, Sigma: 1.2}
+	xs := mathx.LinSpace(0, 10, 120)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	got, err := FitGaussCurve(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.A-2) > 1e-4 || math.Abs(got.Mu-5) > 1e-4 || math.Abs(got.Sigma-1.2) > 1e-4 {
+		t.Errorf("gaussian = %+v", got)
+	}
+	if _, err := FitGaussCurve([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("two points must error")
+	}
+}
+
+func TestDetectPeaksFindsSeededModes(t *testing.T) {
+	// Residual with two bumps of different mass on a flat background.
+	n := 200
+	residual := make([]float64, n)
+	bump := func(center int, height, width float64) {
+		for i := range residual {
+			z := (float64(i) - float64(center)) / width
+			residual[i] += height * math.Exp(-z*z/2)
+		}
+	}
+	bump(60, 0.02, 3)  // heavier peak
+	bump(140, 0.01, 3) // lighter peak
+	peaks, err := DetectPeaks(residual, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) < 2 {
+		t.Fatalf("found %d peaks, want >= 2", len(peaks))
+	}
+	// Ranked by mass: the heavy peak first.
+	if math.Abs(float64(peaks[0].Center-60)) > 5 {
+		t.Errorf("first peak center = %d, want ~60", peaks[0].Center)
+	}
+	if math.Abs(float64(peaks[1].Center-140)) > 5 {
+		t.Errorf("second peak center = %d, want ~140", peaks[1].Center)
+	}
+	if peaks[0].Mass <= peaks[1].Mass {
+		t.Errorf("peaks not ranked by mass: %v <= %v", peaks[0].Mass, peaks[1].Mass)
+	}
+	if peaks[0].Span() <= 0 {
+		t.Errorf("span = %d", peaks[0].Span())
+	}
+}
+
+func TestDetectPeaksIgnoresFlatResidual(t *testing.T) {
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 1e-7 // below any derivative threshold
+	}
+	peaks, err := DetectPeaks(flat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 0 {
+		t.Errorf("found %d peaks on flat residual", len(peaks))
+	}
+}
+
+func TestDetectPeaksEmptyAndShort(t *testing.T) {
+	if peaks, err := DetectPeaks(nil, nil); err != nil || len(peaks) != 0 {
+		t.Errorf("empty input: %v, %v", peaks, err)
+	}
+	if peaks, err := DetectPeaks([]float64{1, 2}, nil); err != nil || len(peaks) != 0 {
+		t.Errorf("too-short input: %v, %v", peaks, err)
+	}
+}
+
+func TestDetectPeaksMinMass(t *testing.T) {
+	n := 100
+	residual := make([]float64, n)
+	for i := range residual {
+		z := (float64(i) - 50) / 2
+		residual[i] = 0.001 * math.Exp(-z*z/2)
+	}
+	peaks, err := DetectPeaks(residual, &PeakOptions{MinMass: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 0 {
+		t.Errorf("MinMass filter failed: %d peaks", len(peaks))
+	}
+}
+
+func TestDetectPeaksFiniteDiffAblation(t *testing.T) {
+	// Both differentiators must find a single strong clean peak.
+	n := 150
+	residual := make([]float64, n)
+	for i := range residual {
+		z := (float64(i) - 70) / 4
+		residual[i] = 0.05 * math.Exp(-z*z/2)
+	}
+	for _, fd := range []bool{false, true} {
+		peaks, err := DetectPeaks(residual, &PeakOptions{UseFiniteDiff: fd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peaks) == 0 {
+			t.Fatalf("finiteDiff=%v: no peaks found", fd)
+		}
+		if math.Abs(float64(peaks[0].Center-70)) > 6 {
+			t.Errorf("finiteDiff=%v: center = %d, want ~70", fd, peaks[0].Center)
+		}
+	}
+}

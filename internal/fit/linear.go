@@ -1,0 +1,143 @@
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Line is a fitted straight line y = Intercept + Slope*x.
+type Line struct {
+	Intercept float64
+	Slope     float64
+	R2        float64
+}
+
+// LinearFit performs ordinary least squares of ys on xs.
+func LinearFit(xs, ys []float64) (Line, error) {
+	return WeightedLinearFit(xs, ys, nil)
+}
+
+// WeightedLinearFit performs weighted least squares of ys on xs; a nil
+// weight slice means uniform weights.
+func WeightedLinearFit(xs, ys, ws []float64) (Line, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Line{}, fmt.Errorf("fit: linear fit needs >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	if ws != nil && len(ws) != len(xs) {
+		return Line{}, fmt.Errorf("fit: %d weights for %d points", len(ws), len(xs))
+	}
+	var sw, sx, sy, sxx, sxy float64
+	for i := range xs {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		sw += w
+		sx += w * xs[i]
+		sy += w * ys[i]
+		sxx += w * xs[i] * xs[i]
+		sxy += w * xs[i] * ys[i]
+	}
+	det := sw*sxx - sx*sx
+	if det == 0 || sw == 0 {
+		return Line{}, errors.New("fit: degenerate linear system (constant x or zero weights)")
+	}
+	slope := (sw*sxy - sx*sy) / det
+	intercept := (sy - slope*sx) / sw
+	yhat := make([]float64, len(xs))
+	for i, x := range xs {
+		yhat[i] = intercept + slope*x
+	}
+	r2 := RSquaredWeighted(ys, yhat, ws)
+	return Line{Intercept: intercept, Slope: slope, R2: r2}, nil
+}
+
+// PolyFit fits a polynomial of the given degree by least squares and
+// returns its coefficients, lowest order first.
+func PolyFit(xs, ys []float64, degree int) ([]float64, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("fit: negative polynomial degree %d", degree)
+	}
+	n := degree + 1
+	if len(xs) != len(ys) || len(xs) < n {
+		return nil, fmt.Errorf("fit: polynomial degree %d needs >= %d points, got %d", degree, n, len(xs))
+	}
+	m := len(xs)
+	v := make([]float64, m*n)
+	for i, x := range xs {
+		pw := 1.0
+		for j := 0; j < n; j++ {
+			v[i*n+j] = pw
+			pw *= x
+		}
+	}
+	vtv := mathx.AtA(v, m, n)
+	vty := mathx.AtB(v, ys, m, n)
+	coeffs, err := mathx.SolveCholesky(vtv, vty)
+	if err != nil {
+		coeffs, err = mathx.SolveGauss(vtv, vty)
+		if err != nil {
+			return nil, fmt.Errorf("fit: polynomial normal equations: %w", err)
+		}
+	}
+	return coeffs, nil
+}
+
+// PolyEval evaluates a polynomial with coefficients lowest order first.
+func PolyEval(coeffs []float64, x float64) float64 {
+	var y float64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = y*x + coeffs[i]
+	}
+	return y
+}
+
+// RSquared returns the coefficient of determination of predictions yhat
+// against observations ys. A perfect fit yields 1; predicting the mean
+// yields 0; worse-than-mean fits go negative. Constant observations
+// yield 1 when matched exactly and 0 otherwise.
+func RSquared(ys, yhat []float64) float64 {
+	return RSquaredWeighted(ys, yhat, nil)
+}
+
+// RSquaredWeighted is RSquared with per-observation weights (nil means
+// uniform).
+func RSquaredWeighted(ys, yhat, ws []float64) float64 {
+	if len(ys) != len(yhat) || len(ys) == 0 {
+		return math.NaN()
+	}
+	var sw, sy float64
+	for i := range ys {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		sw += w
+		sy += w * ys[i]
+	}
+	if sw == 0 {
+		return math.NaN()
+	}
+	mean := sy / sw
+	var ssRes, ssTot float64
+	for i := range ys {
+		w := 1.0
+		if ws != nil {
+			w = ws[i]
+		}
+		dr := ys[i] - yhat[i]
+		dt := ys[i] - mean
+		ssRes += w * dr * dr
+		ssTot += w * dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

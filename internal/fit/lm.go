@@ -1,0 +1,189 @@
+// Package fit provides the curve-fitting machinery of the modeling
+// pipeline: Levenberg-Marquardt nonlinear least squares (used for the
+// power-law duration-volume fits of paper §5.3), linear and polynomial
+// least squares, parametric curve fits (power law, exponential,
+// Gaussian), the coefficient of determination R², and the
+// Savitzky-Golay-based residual-peak detection of paper §5.2.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Model is a parametric scalar function y = f(params, x).
+type Model func(params []float64, x float64) float64
+
+// LMOptions tunes the Levenberg-Marquardt optimizer. The zero value is
+// usable; unset fields take the defaults documented on each field.
+type LMOptions struct {
+	// MaxIter caps the outer iterations (default 200).
+	MaxIter int
+	// TolCost stops when the relative cost improvement falls below it
+	// (default 1e-12).
+	TolCost float64
+	// TolStep stops when the parameter step norm falls below it
+	// (default 1e-12).
+	TolStep float64
+	// InitialLambda is the starting damping factor (default 1e-3).
+	InitialLambda float64
+	// Weights optionally holds one weight per observation; nil means
+	// uniform weighting.
+	Weights []float64
+}
+
+func (o *LMOptions) withDefaults() LMOptions {
+	out := LMOptions{MaxIter: 200, TolCost: 1e-12, TolStep: 1e-12, InitialLambda: 1e-3}
+	if o == nil {
+		return out
+	}
+	if o.MaxIter > 0 {
+		out.MaxIter = o.MaxIter
+	}
+	if o.TolCost > 0 {
+		out.TolCost = o.TolCost
+	}
+	if o.TolStep > 0 {
+		out.TolStep = o.TolStep
+	}
+	if o.InitialLambda > 0 {
+		out.InitialLambda = o.InitialLambda
+	}
+	out.Weights = o.Weights
+	return out
+}
+
+// LMResult reports the outcome of a Levenberg-Marquardt fit.
+type LMResult struct {
+	Params     []float64 // fitted parameters
+	Cost       float64   // final sum of squared weighted residuals
+	Iterations int       // outer iterations performed
+	Converged  bool      // true if a tolerance (not MaxIter) stopped the fit
+}
+
+// LM fits model to the observations (xs, ys) by weighted nonlinear
+// least squares starting from p0, using the Levenberg-Marquardt
+// algorithm with a numerically differenced Jacobian.
+func LM(model Model, xs, ys []float64, p0 []float64, opts *LMOptions) (LMResult, error) {
+	if len(xs) != len(ys) {
+		return LMResult{}, fmt.Errorf("fit: LM: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
+	}
+	if len(xs) < len(p0) {
+		return LMResult{}, fmt.Errorf("fit: LM: %d observations cannot constrain %d parameters",
+			len(xs), len(p0))
+	}
+	if len(p0) == 0 {
+		return LMResult{}, errors.New("fit: LM: empty initial parameter vector")
+	}
+	o := opts.withDefaults()
+	if o.Weights != nil && len(o.Weights) != len(xs) {
+		return LMResult{}, fmt.Errorf("fit: LM: %d weights for %d observations", len(o.Weights), len(xs))
+	}
+	m, n := len(xs), len(p0)
+	p := make([]float64, n)
+	copy(p, p0)
+
+	weight := func(i int) float64 {
+		if o.Weights == nil {
+			return 1
+		}
+		return o.Weights[i]
+	}
+	residuals := func(params []float64, out []float64) float64 {
+		var cost float64
+		for i := range xs {
+			r := weight(i) * (model(params, xs[i]) - ys[i])
+			out[i] = r
+			cost += r * r
+		}
+		return cost
+	}
+
+	r := make([]float64, m)
+	cost := residuals(p, r)
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return LMResult{}, errors.New("fit: LM: initial parameters produce non-finite residuals")
+	}
+	lambda := o.InitialLambda
+	jac := make([]float64, m*n)
+	pTrial := make([]float64, n)
+	rTrial := make([]float64, m)
+	result := LMResult{Params: p, Cost: cost}
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		result.Iterations = iter + 1
+		// Numeric Jacobian by forward differences.
+		for j := 0; j < n; j++ {
+			h := 1e-8 * math.Max(1, math.Abs(p[j]))
+			copy(pTrial, p)
+			pTrial[j] += h
+			for i := range xs {
+				jac[i*n+j] = weight(i) * (model(pTrial, xs[i]) - model(p, xs[i])) / h
+			}
+		}
+		jtj := mathx.AtA(jac, m, n)
+		jtr := mathx.AtB(jac, r, m, n)
+
+		improved := false
+		for attempt := 0; attempt < 30; attempt++ {
+			// (JᵀJ + λ·diag(JᵀJ)) δ = -Jᵀr
+			a := make([]float64, n*n)
+			copy(a, jtj)
+			for d := 0; d < n; d++ {
+				damp := jtj[d*n+d]
+				if damp == 0 {
+					damp = 1
+				}
+				a[d*n+d] += lambda * damp
+			}
+			neg := make([]float64, n)
+			for i, v := range jtr {
+				neg[i] = -v
+			}
+			delta, err := mathx.SolveCholesky(a, neg)
+			if err != nil {
+				delta, err = mathx.SolveGauss(a, neg)
+				if err != nil {
+					lambda *= 10
+					continue
+				}
+			}
+			for j := 0; j < n; j++ {
+				pTrial[j] = p[j] + delta[j]
+			}
+			trialCost := residuals(pTrial, rTrial)
+			if !math.IsNaN(trialCost) && trialCost < cost {
+				stepNorm := 0.0
+				for _, d := range delta {
+					stepNorm += d * d
+				}
+				stepNorm = math.Sqrt(stepNorm)
+				relImprove := (cost - trialCost) / math.Max(cost, 1e-300)
+				copy(p, pTrial)
+				copy(r, rTrial)
+				cost = trialCost
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if relImprove < o.TolCost || stepNorm < o.TolStep {
+					result.Params, result.Cost, result.Converged = p, cost, true
+					return result, nil
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		if !improved {
+			// Damping exhausted: current point is (locally) optimal.
+			result.Params, result.Cost, result.Converged = p, cost, true
+			return result, nil
+		}
+	}
+	result.Params, result.Cost = p, cost
+	return result, nil
+}

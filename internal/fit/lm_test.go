@@ -1,0 +1,181 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func TestLMRecoversExponentialDecay(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * math.Exp(p[1]*x) }
+	truth := []float64{2.5, -0.7}
+	xs := mathx.LinSpace(0, 5, 50)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = model(truth, x)
+	}
+	res, err := LM(model, xs, ys, []float64{1, -0.1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("LM did not converge")
+	}
+	for i := range truth {
+		if math.Abs(res.Params[i]-truth[i]) > 1e-6 {
+			t.Errorf("param %d = %v, want %v", i, res.Params[i], truth[i])
+		}
+	}
+	if res.Cost > 1e-12 {
+		t.Errorf("final cost = %v", res.Cost)
+	}
+}
+
+func TestLMWithNoise(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] + p[1]*math.Sin(p[2]*x) }
+	truth := []float64{1, 2, 0.5}
+	rng := rand.New(rand.NewSource(2))
+	xs := mathx.LinSpace(0, 20, 300)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = model(truth, x) + 0.05*rng.NormFloat64()
+	}
+	res, err := LM(model, xs, ys, []float64{0.5, 1.5, 0.45}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(res.Params[i]-truth[i]) > 0.05 {
+			t.Errorf("param %d = %v, want %v", i, res.Params[i], truth[i])
+		}
+	}
+}
+
+func TestLMWeightsFavorWeightedPoints(t *testing.T) {
+	// Constant model fitted to two incompatible points: the weighted
+	// solution is the weighted mean.
+	model := func(p []float64, _ float64) float64 { return p[0] }
+	xs := []float64{0, 1}
+	ys := []float64{0, 10}
+	ws := []float64{3, 1}
+	res, err := LM(model, xs, ys, []float64{5}, &LMOptions{Weights: ws})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimizer of 9(p-0)^2 + (p-10)^2 is p = 1.
+	if math.Abs(res.Params[0]-1) > 1e-6 {
+		t.Errorf("weighted constant fit = %v, want 1", res.Params[0])
+	}
+}
+
+func TestLMValidation(t *testing.T) {
+	model := func(p []float64, x float64) float64 { return p[0] * x }
+	if _, err := LM(model, []float64{1}, []float64{1, 2}, []float64{1}, nil); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := LM(model, []float64{1}, []float64{1}, []float64{1, 2}, nil); err == nil {
+		t.Error("underdetermined system must error")
+	}
+	if _, err := LM(model, []float64{1}, []float64{1}, nil, nil); err == nil {
+		t.Error("empty parameters must error")
+	}
+	if _, err := LM(model, []float64{1, 2}, []float64{1, 2}, []float64{1},
+		&LMOptions{Weights: []float64{1}}); err == nil {
+		t.Error("weight length mismatch must error")
+	}
+	bad := func(p []float64, x float64) float64 { return math.NaN() }
+	if _, err := LM(bad, []float64{1}, []float64{1}, []float64{1}, nil); err == nil {
+		t.Error("non-finite initial residuals must error")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	line, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Intercept-1) > 1e-12 || math.Abs(line.Slope-2) > 1e-12 {
+		t.Errorf("line = %+v", line)
+	}
+	if math.Abs(line.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", line.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, err := LinearFit([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("constant x must error")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point must error")
+	}
+}
+
+func TestWeightedLinearFit(t *testing.T) {
+	// Outlier with zero weight must not affect the fit.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 1, 2, 100}
+	ws := []float64{1, 1, 1, 0}
+	line, err := WeightedLinearFit(xs, ys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(line.Slope-1) > 1e-9 || math.Abs(line.Intercept) > 1e-9 {
+		t.Errorf("weighted line = %+v, want y=x", line)
+	}
+}
+
+func TestPolyFit(t *testing.T) {
+	xs := mathx.LinSpace(-3, 3, 30)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 - x + 0.5*x*x
+	}
+	coeffs, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -1, 0.5}
+	for i := range want {
+		if math.Abs(coeffs[i]-want[i]) > 1e-8 {
+			t.Errorf("coeff %d = %v, want %v", i, coeffs[i], want[i])
+		}
+	}
+	if got := PolyEval(coeffs, 2); math.Abs(got-2) > 1e-8 {
+		t.Errorf("PolyEval(2) = %v, want 2", got)
+	}
+	if _, err := PolyFit(xs[:2], ys[:2], 2); err == nil {
+		t.Error("insufficient points must error")
+	}
+	if _, err := PolyFit(xs, ys, -1); err == nil {
+		t.Error("negative degree must error")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	ys := []float64{1, 2, 3, 4}
+	if got := RSquared(ys, ys); got != 1 {
+		t.Errorf("perfect R2 = %v", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := RSquared(ys, mean); got != 0 {
+		t.Errorf("mean-prediction R2 = %v", got)
+	}
+	worse := []float64{4, 3, 2, 1}
+	if got := RSquared(ys, worse); got >= 0 {
+		t.Errorf("anti-correlated R2 = %v, want negative", got)
+	}
+	if got := RSquared([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Errorf("constant matched R2 = %v, want 1", got)
+	}
+	if got := RSquared([]float64{5, 5}, []float64{4, 6}); got != 0 {
+		t.Errorf("constant mismatched R2 = %v, want 0", got)
+	}
+	if !math.IsNaN(RSquared(nil, nil)) {
+		t.Error("empty R2 must be NaN")
+	}
+}

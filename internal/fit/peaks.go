@@ -1,0 +1,153 @@
+package fit
+
+import (
+	"fmt"
+	"sort"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Peak describes one residual probability mode detected by the §5.2
+// algorithm: a contiguous bin interval with rapidly changing residual,
+// its dominant bin, and the residual mass it contains (the integral the
+// paper uses to rank intervals and as the mixture weight k_{s,n}).
+type Peak struct {
+	Lo, Hi int     // inclusive bin-index interval
+	Center int     // bin index of the residual maximum within [Lo, Hi]
+	Mass   float64 // residual probability contained in the interval
+}
+
+// Span returns the number of bins covered by the peak interval.
+func (p Peak) Span() int { return p.Hi - p.Lo + 1 }
+
+// PeakOptions configures residual-peak detection.
+type PeakOptions struct {
+	// Threshold is the absolute first-derivative threshold above which
+	// a bin is considered part of a peak. The paper finds the algorithm
+	// robust to this choice and uses 1e-5 for every service.
+	Threshold float64
+	// Window and Order configure the Savitzky-Golay differentiator
+	// (defaults 7 and 1: the paper's first-order filter).
+	Window, Order int
+	// UseFiniteDiff replaces the Savitzky-Golay derivative with a raw
+	// central finite difference (used by the smoothing ablation).
+	UseFiniteDiff bool
+	// MinMass drops intervals whose residual mass falls below it; the
+	// paper observes peaks beyond the top 3 carry weight below 1e-4.
+	MinMass float64
+}
+
+func (o *PeakOptions) withDefaults() PeakOptions {
+	out := PeakOptions{Threshold: 1e-5, Window: 7, Order: 1}
+	if o == nil {
+		return out
+	}
+	if o.Threshold > 0 {
+		out.Threshold = o.Threshold
+	}
+	if o.Window > 0 {
+		out.Window = o.Window
+	}
+	if o.Order > 0 {
+		out.Order = o.Order
+	}
+	out.UseFiniteDiff = o.UseFiniteDiff
+	out.MinMass = o.MinMass
+	return out
+}
+
+// DetectPeaks implements the residual-mode identification of paper
+// §5.2: it differentiates the residual probability curve with a
+// first-order Savitzky-Golay filter, marks bins where the absolute
+// smoothed derivative exceeds the threshold, groups contiguous marked
+// bins into intervals, and returns the intervals ranked by descending
+// contained residual mass.
+//
+// residual holds non-negative per-bin residual probability (measurement
+// PDF minus main log-normal trend, clipped at zero).
+func DetectPeaks(residual []float64, opts *PeakOptions) ([]Peak, error) {
+	o := opts.withDefaults()
+	if len(residual) == 0 {
+		return nil, nil
+	}
+	if o.Window >= len(residual) {
+		// Shrink the window for very short inputs; keep it odd and >= 3.
+		w := len(residual)
+		if w%2 == 0 {
+			w--
+		}
+		if w < 3 {
+			return nil, nil
+		}
+		o.Window = w
+		if o.Order >= o.Window {
+			o.Order = o.Window - 1
+		}
+	}
+
+	var deriv []float64
+	if o.UseFiniteDiff {
+		deriv = mathx.FiniteDiff(residual)
+	} else {
+		var err error
+		deriv, err = mathx.SavGol(residual, o.Window, o.Order, 1)
+		if err != nil {
+			return nil, fmt.Errorf("fit: peak detection derivative: %w", err)
+		}
+	}
+
+	active := make([]bool, len(residual))
+	for i, d := range deriv {
+		if d > o.Threshold || d < -o.Threshold {
+			active[i] = true
+		}
+	}
+
+	// Collect contiguous active runs, then merge runs separated by short
+	// gaps: a smooth residual mode has a near-zero derivative exactly at
+	// its apex, which would otherwise split one peak into its rising and
+	// falling flanks.
+	type run struct{ lo, hi int }
+	var runs []run
+	i := 0
+	for i < len(active) {
+		if !active[i] {
+			i++
+			continue
+		}
+		lo := i
+		for i < len(active) && active[i] {
+			i++
+		}
+		runs = append(runs, run{lo: lo, hi: i - 1})
+	}
+	mergeGap := o.Window
+	var merged []run
+	for _, r := range runs {
+		if n := len(merged); n > 0 && r.lo-merged[n-1].hi <= mergeGap {
+			merged[n-1].hi = r.hi
+			continue
+		}
+		merged = append(merged, r)
+	}
+
+	var peaks []Peak
+	for _, r := range merged {
+		var mass float64
+		center := r.lo
+		for j := r.lo; j <= r.hi; j++ {
+			if residual[j] < 0 {
+				continue
+			}
+			mass += residual[j]
+			if residual[j] > residual[center] {
+				center = j
+			}
+		}
+		if mass > o.MinMass {
+			peaks = append(peaks, Peak{Lo: r.lo, Hi: r.hi, Center: center, Mass: mass})
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Mass > peaks[b].Mass })
+	return peaks, nil
+}

@@ -1,0 +1,126 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Property: LM recovers a random two-parameter exponential curve from
+// clean observations, from a perturbed starting point.
+func TestLMRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + rng.Float64()*5
+		b := -1 + rng.Float64()*0.9 // decay in (-1, -0.1)
+		model := func(p []float64, x float64) float64 { return p[0] * math.Exp(p[1]*x) }
+		xs := mathx.LinSpace(0, 5, 40)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = model([]float64{a, b}, x)
+		}
+		p0 := []float64{a * (0.5 + rng.Float64()), b * (0.5 + rng.Float64())}
+		res, err := LM(model, xs, ys, p0, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Params[0]-a) < 1e-3 && math.Abs(res.Params[1]-b) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the weighted linear fit interpolates any two distinct
+// points exactly.
+func TestLinearFitTwoPointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x0 := rng.NormFloat64() * 10
+		x1 := x0 + 0.1 + rng.Float64()*10
+		y0 := rng.NormFloat64() * 10
+		y1 := rng.NormFloat64() * 10
+		line, err := LinearFit([]float64{x0, x1}, []float64{y0, y1})
+		if err != nil {
+			return false
+		}
+		return math.Abs(line.Intercept+line.Slope*x0-y0) < 1e-6 &&
+			math.Abs(line.Intercept+line.Slope*x1-y1) < 1e-6 &&
+			math.Abs(line.R2-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: power-law fit and inverse are mutually consistent for
+// random positive parameters.
+func TestPowerLawRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := math.Pow(10, rng.Float64()*6)
+		beta := 0.1 + rng.Float64()*1.7
+		xs := mathx.LogSpace(0, 3, 30)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = alpha * math.Pow(x, beta)
+		}
+		p, err := FitPowerLaw(xs, ys, nil)
+		if err != nil {
+			return false
+		}
+		if math.Abs(p.Beta-beta) > 1e-3 {
+			return false
+		}
+		// Invert at a random point.
+		x := 1 + rng.Float64()*500
+		return math.Abs(p.Invert(p.Eval(x))-x)/x < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DetectPeaks is scale-covariant in the threshold — scaling
+// the residual and the threshold together finds the same intervals.
+func TestDetectPeaksScaleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 80
+		residual := make([]float64, n)
+		center := 10 + rng.Intn(60)
+		height := 0.01 + rng.Float64()*0.1
+		for i := range residual {
+			z := (float64(i) - float64(center)) / (2 + rng.Float64()*3)
+			residual[i] = height * math.Exp(-z*z/2)
+		}
+		scale := math.Pow(10, 1+rng.Float64()*2)
+		scaled := make([]float64, n)
+		for i, v := range residual {
+			scaled[i] = v * scale
+		}
+		a, err := DetectPeaks(residual, &PeakOptions{Threshold: 1e-4})
+		if err != nil {
+			return false
+		}
+		b, err := DetectPeaks(scaled, &PeakOptions{Threshold: 1e-4 * scale})
+		if err != nil {
+			return false
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Lo != b[i].Lo || a[i].Hi != b[i].Hi || a[i].Center != b[i].Center {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package littrafgen implements the literature traffic models the paper
+// compares against in §6 ([42] Tsompanidis et al., [31] Navarro-Ortiz
+// et al.): mobile traffic described at the level of three broad service
+// categories — Interactive Web (IW), Casual Streaming (CS) and Movie
+// Streaming (MS) — with independent per-category session size and
+// duration distributions and no per-service structure.
+//
+// These category-level models are the benchmarks bm_a/bm_b of §6.1 and
+// bm_a/bm_b/bm_c of §6.2; their lack of session-level per-service
+// statistics is exactly what the paper shows to produce unreliable
+// performance evaluations.
+package littrafgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiletraffic/internal/services"
+)
+
+// Category is one of the three literature service categories.
+type Category int
+
+// Literature service categories.
+const (
+	IW Category = iota // Interactive Web
+	CS                 // Casual Streaming
+	MS                 // Movie Streaming
+	numCategories
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case IW:
+		return "IW"
+	case CS:
+		return "CS"
+	case MS:
+		return "MS"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// NumCategories is the number of literature categories.
+const NumCategories = int(numCategories)
+
+// CategoryModel is the literature description of one category: base-10
+// log-normal session volume and session duration, drawn independently
+// (the models provide "throughput and session size/duration" per
+// category with no duration-volume coupling).
+type CategoryModel struct {
+	Name string
+	// Volume: log10-bytes location/width.
+	VolMu, VolSigma float64
+	// Duration: log10-seconds location/width.
+	DurMu, DurSigma float64
+}
+
+// Models returns the three category models with representative
+// parameters from the surveyed literature: short light interactive-web
+// sessions, mid-sized casual streams, and long heavy movie streams.
+func Models() [NumCategories]CategoryModel {
+	return [NumCategories]CategoryModel{
+		IW: {Name: "IW", VolMu: 5.7, VolSigma: 0.4, DurMu: 1.5, DurSigma: 0.3},
+		CS: {Name: "CS", VolMu: 7.3, VolSigma: 0.4, DurMu: 2.4, DurSigma: 0.3},
+		MS: {Name: "MS", VolMu: 8.6, VolSigma: 0.35, DurMu: 3.2, DurSigma: 0.25},
+	}
+}
+
+// Session is one category-level synthetic session.
+type Session struct {
+	Category   Category
+	Volume     float64 // bytes
+	Duration   float64 // seconds
+	Throughput float64 // bytes/second
+}
+
+// Sample draws a session from the category model: volume and duration
+// independently log-normal, throughput their ratio.
+func (m *CategoryModel) Sample(rng *rand.Rand) Session {
+	vol := math.Pow(10, m.VolMu+m.VolSigma*rng.NormFloat64())
+	dur := math.Pow(10, m.DurMu+m.DurSigma*rng.NormFloat64())
+	if dur < 1 {
+		dur = 1
+	}
+	cat := IW
+	switch m.Name {
+	case "CS":
+		cat = CS
+	case "MS":
+		cat = MS
+	}
+	return Session{Category: cat, Volume: vol, Duration: dur, Throughput: vol / dur}
+}
+
+// MeanVolume returns the analytic mean session volume in bytes.
+func (m *CategoryModel) MeanVolume() float64 {
+	s := m.VolSigma * math.Ln10
+	return math.Pow(10, m.VolMu) * math.Exp(s*s/2)
+}
+
+// MeanThroughput returns the analytic mean of volume/duration under the
+// independence assumption: E[V] * E[1/D].
+func (m *CategoryModel) MeanThroughput() float64 {
+	s := m.DurSigma * math.Ln10
+	invD := math.Pow(10, -m.DurMu) * math.Exp(s*s/2)
+	return m.MeanVolume() * invD
+}
+
+// CategoryOf maps a catalog service to its literature category: video
+// streaming services to MS, audio/casual streaming to CS, everything
+// else to IW — the 28-to-3 mapping of §6.2.2.
+func CategoryOf(p services.Profile) Category {
+	if p.Class != services.Streaming {
+		return IW
+	}
+	// Movie/video streaming: the heavyweight super-linear services.
+	switch p.Name {
+	case "Netflix", "Twitch", "FB Live", "Youtube":
+		return MS
+	}
+	return CS
+}
+
+// BMAShares returns the category session shares of benchmark bm_a in
+// §6.1: the three categories with shares derived from aggregating the
+// corresponding Table 1 values (IW 49.30%, CS 48.46%, MS 2.24%).
+func BMAShares() [NumCategories]float64 {
+	return [NumCategories]float64{IW: 0.4930, CS: 0.4846, MS: 0.0224}
+}
+
+// BMBShares returns the category session shares of benchmark bm_b in
+// §6.1, taken from the literature (IW 50%, CS 42.11%, MS 7.89%).
+func BMBShares() [NumCategories]float64 {
+	return [NumCategories]float64{IW: 0.50, CS: 0.4211, MS: 0.0789}
+}
+
+// PickCategory draws a category according to the share vector.
+func PickCategory(shares [NumCategories]float64, rng *rand.Rand) Category {
+	u := rng.Float64() * (shares[IW] + shares[CS] + shares[MS])
+	if u < shares[IW] {
+		return IW
+	}
+	if u < shares[IW]+shares[CS] {
+		return CS
+	}
+	return MS
+}
+
+// Generator draws category-level sessions with the configured shares —
+// the complete benchmark workload generator.
+type Generator struct {
+	Shares [NumCategories]float64
+	Models [NumCategories]CategoryModel
+	// VolumeScale rescales sampled volumes (and hence throughputs);
+	// bm_b and bm_c of §6.2 use it to normalize the generated traffic
+	// against the measurement totals. Index by category; zero values
+	// mean no scaling.
+	VolumeScale [NumCategories]float64
+	rng         *rand.Rand
+}
+
+// NewGenerator builds a benchmark generator with the given shares.
+func NewGenerator(shares [NumCategories]float64, seed int64) *Generator {
+	return &Generator{Shares: shares, Models: Models(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample draws one session.
+func (g *Generator) Sample() Session {
+	cat := PickCategory(g.Shares, g.rng)
+	s := g.Models[cat].Sample(g.rng)
+	if sc := g.VolumeScale[cat]; sc > 0 && sc != 1 {
+		s.Volume *= sc
+		s.Throughput *= sc
+	}
+	return s
+}
+
+// NormalizeTotal configures per-category volume scaling so the
+// generator's expected total traffic matches wantMean (bytes per
+// session on average across categories) — the bm_b normalization of
+// §6.2.2. It returns the common scale factor applied.
+func (g *Generator) NormalizeTotal(wantMeanVolume float64) float64 {
+	var mean float64
+	total := g.Shares[IW] + g.Shares[CS] + g.Shares[MS]
+	for c := 0; c < NumCategories; c++ {
+		mean += g.Shares[c] / total * g.Models[c].MeanVolume()
+	}
+	if mean <= 0 || wantMeanVolume <= 0 {
+		return 1
+	}
+	scale := wantMeanVolume / mean
+	for c := 0; c < NumCategories; c++ {
+		g.VolumeScale[c] = scale
+	}
+	return scale
+}
+
+// NormalizePerCategory configures volume scaling per category so each
+// category's mean session volume matches the measured value — the bm_c
+// normalization of §6.2.2 (infeasible without session-level
+// measurements, included as the strongest benchmark).
+func (g *Generator) NormalizePerCategory(wantMean [NumCategories]float64) [NumCategories]float64 {
+	var scales [NumCategories]float64
+	for c := 0; c < NumCategories; c++ {
+		m := g.Models[c].MeanVolume()
+		if m > 0 && wantMean[c] > 0 {
+			scales[c] = wantMean[c] / m
+		} else {
+			scales[c] = 1
+		}
+		g.VolumeScale[c] = scales[c]
+	}
+	return scales
+}

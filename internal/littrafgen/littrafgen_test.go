@@ -1,0 +1,164 @@
+package littrafgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiletraffic/internal/mathx"
+	"mobiletraffic/internal/services"
+)
+
+func TestCategoryString(t *testing.T) {
+	if IW.String() != "IW" || CS.String() != "CS" || MS.String() != "MS" {
+		t.Error("category strings")
+	}
+	if Category(9).String() != "Category(9)" {
+		t.Error("unknown category string")
+	}
+}
+
+func TestModelsOrdering(t *testing.T) {
+	m := Models()
+	// Movie streaming carries more volume and lasts longer than casual
+	// streaming, which exceeds interactive web.
+	if !(m[MS].MeanVolume() > m[CS].MeanVolume() && m[CS].MeanVolume() > m[IW].MeanVolume()) {
+		t.Error("category volume ordering violated")
+	}
+	if !(m[MS].DurMu > m[CS].DurMu && m[CS].DurMu > m[IW].DurMu) {
+		t.Error("category duration ordering violated")
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Models()[CS]
+	var logs []float64
+	for i := 0; i < 50000; i++ {
+		s := m.Sample(rng)
+		if s.Volume <= 0 || s.Duration < 1 || s.Throughput <= 0 {
+			t.Fatalf("invalid session %+v", s)
+		}
+		if s.Category != CS {
+			t.Fatalf("category = %v", s.Category)
+		}
+		logs = append(logs, math.Log10(s.Volume))
+	}
+	if got := mathx.Mean(logs); math.Abs(got-7.3) > 0.02 {
+		t.Errorf("log-volume mean = %v", got)
+	}
+}
+
+func TestMeanVolumeAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Models()[IW]
+	var sum float64
+	const n = 300000
+	for i := 0; i < n; i++ {
+		sum += m.Sample(rng).Volume
+	}
+	got := sum / n
+	want := m.MeanVolume()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Errorf("empirical mean volume %v vs analytic %v", got, want)
+	}
+}
+
+func TestCategoryOfMapping(t *testing.T) {
+	cases := map[string]Category{
+		"Netflix":  MS,
+		"Twitch":   MS,
+		"FB Live":  MS,
+		"Youtube":  MS,
+		"Deezer":   CS,
+		"Spotify":  CS,
+		"Facebook": IW,
+		"Amazon":   IW,
+		"Waze":     IW,
+	}
+	for name, want := range cases {
+		p, err := services.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CategoryOf(p); got != want {
+			t.Errorf("CategoryOf(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestBenchmarkShares(t *testing.T) {
+	a, b := BMAShares(), BMBShares()
+	if math.Abs(a[IW]+a[CS]+a[MS]-1) > 1e-9 {
+		t.Errorf("bm_a shares sum to %v", a[IW]+a[CS]+a[MS])
+	}
+	if math.Abs(b[IW]+b[CS]+b[MS]-1) > 1e-9 {
+		t.Errorf("bm_b shares sum to %v", b[IW]+b[CS]+b[MS])
+	}
+	// Paper values.
+	if a[IW] != 0.4930 || a[CS] != 0.4846 || a[MS] != 0.0224 {
+		t.Errorf("bm_a shares = %v", a)
+	}
+	if b[MS] != 0.0789 {
+		t.Errorf("bm_b MS share = %v", b[MS])
+	}
+}
+
+func TestPickCategoryDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shares := BMAShares()
+	var counts [NumCategories]int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[PickCategory(shares, rng)]++
+	}
+	for c := 0; c < NumCategories; c++ {
+		got := float64(counts[c]) / n
+		if math.Abs(got-shares[c]) > 0.01 {
+			t.Errorf("category %v share = %v, want %v", Category(c), got, shares[c])
+		}
+	}
+}
+
+func TestGeneratorNormalizeTotal(t *testing.T) {
+	g := NewGenerator(BMAShares(), 4)
+	want := 2e6
+	scale := g.NormalizeTotal(want)
+	if scale <= 0 {
+		t.Fatalf("scale = %v", scale)
+	}
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Sample().Volume
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("normalized mean volume = %v, want %v", got, want)
+	}
+	// Degenerate target leaves scaling untouched.
+	g2 := NewGenerator(BMAShares(), 5)
+	if s := g2.NormalizeTotal(0); s != 1 {
+		t.Errorf("zero-target scale = %v", s)
+	}
+}
+
+func TestGeneratorNormalizePerCategory(t *testing.T) {
+	g := NewGenerator([NumCategories]float64{IW: 1}, 6) // IW only
+	want := [NumCategories]float64{IW: 5e5, CS: 1e7, MS: 2e8}
+	scales := g.NormalizePerCategory(want)
+	for c := 0; c < NumCategories; c++ {
+		if scales[c] <= 0 {
+			t.Errorf("scale[%d] = %v", c, scales[c])
+		}
+	}
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Sample().Volume
+	}
+	got := sum / n
+	if math.Abs(got-want[IW])/want[IW] > 0.05 {
+		t.Errorf("per-category normalized mean = %v, want %v", got, want[IW])
+	}
+}

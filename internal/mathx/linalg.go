@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// SolveGauss solves the dense linear system A·x = b using Gauss-Jordan
+// elimination with partial pivoting. A is given in row-major order and is
+// not modified. The dimension is len(b); A must hold len(b)² entries.
+func SolveGauss(a []float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n*n {
+		return nil, fmt.Errorf("mathx: matrix size %d does not match vector size %d", len(a), n)
+	}
+	// Work on copies so callers can reuse their buffers.
+	m := make([]float64, len(a))
+	copy(m, a)
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude entry in this column.
+		pivot := col
+		best := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				m[col*n+c], m[pivot*n+c] = m[pivot*n+c], m[col*n+c]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m[col*n+col]
+		for c := 0; c < n; c++ {
+			m[col*n+c] *= inv
+		}
+		x[col] *= inv
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r*n+col]
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				m[r*n+c] -= f * m[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	return x, nil
+}
+
+// SolveCholesky solves A·x = b for a symmetric positive-definite matrix A
+// (row-major). It is faster and more stable than SolveGauss for the
+// normal equations arising in least-squares problems.
+func SolveCholesky(a []float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n*n {
+		return nil, fmt.Errorf("mathx: matrix size %d does not match vector size %d", len(a), n)
+	}
+	// Lower-triangular factor L with A = L·Lᵀ.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l[i*n+j] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x, nil
+}
+
+// MatVec computes the product of the m×n row-major matrix a with the
+// vector x (length n), returning a vector of length m.
+func MatVec(a []float64, x []float64, m, n int) []float64 {
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		row := a[i*n : (i+1)*n]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// AtA computes JᵀJ for the m×n row-major matrix j, returning the n×n
+// row-major result. Used to form normal equations.
+func AtA(j []float64, m, n int) []float64 {
+	out := make([]float64, n*n)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			var s float64
+			for r := 0; r < m; r++ {
+				s += j[r*n+a] * j[r*n+b]
+			}
+			out[a*n+b] = s
+			out[b*n+a] = s
+		}
+	}
+	return out
+}
+
+// AtB computes Jᵀr for the m×n row-major matrix j and the vector r of
+// length m, returning a vector of length n.
+func AtB(j []float64, r []float64, m, n int) []float64 {
+	out := make([]float64, n)
+	for a := 0; a < n; a++ {
+		var s float64
+		for row := 0; row < m; row++ {
+			s += j[row*n+a] * r[row]
+		}
+		out[a] = s
+	}
+	return out
+}

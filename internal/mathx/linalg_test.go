@@ -1,0 +1,133 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveGaussKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	x, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(x[0], 1, 1e-12) || !AlmostEqual(x[1], 3, 1e-12) {
+		t.Errorf("SolveGauss = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveGaussNeedsPivot(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	b := []float64{2, 3}
+	x, err := SolveGauss(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(x[0], 3, 1e-12) || !AlmostEqual(x[1], 2, 1e-12) {
+		t.Errorf("SolveGauss = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	if _, err := SolveGauss(a, []float64{1, 2}); err == nil {
+		t.Error("expected singular matrix error")
+	}
+}
+
+func TestSolveGaussDimensionMismatch(t *testing.T) {
+	if _, err := SolveGauss([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Error("expected dimension mismatch error")
+	}
+}
+
+func TestSolveGaussDoesNotModifyInput(t *testing.T) {
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	if _, err := SolveGauss(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 2 || b[0] != 5 {
+		t.Error("SolveGauss modified its inputs")
+	}
+}
+
+func TestSolveCholeskyMatchesGauss(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(6)
+		// Build SPD matrix A = MᵀM + I.
+		m := make([]float64, n*n)
+		for i := range m {
+			m[i] = rng.NormFloat64()
+		}
+		a := AtA(m, n, n)
+		for i := 0; i < n; i++ {
+			a[i*n+i] += 1
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xc, err := SolveCholesky(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xg, err := SolveGauss(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xc {
+			if !AlmostEqual(xc[i], xg[i], 1e-8) {
+				t.Fatalf("trial %d: cholesky %v vs gauss %v", trial, xc, xg)
+			}
+		}
+	}
+}
+
+func TestSolveCholeskyRejectsIndefinite(t *testing.T) {
+	a := []float64{1, 0, 0, -1}
+	if _, err := SolveCholesky(a, []float64{1, 1}); err == nil {
+		t.Error("expected error for indefinite matrix")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2x3
+	x := []float64{1, 0, -1}
+	got := MatVec(a, x, 2, 3)
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MatVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestAtAAtB(t *testing.T) {
+	j := []float64{1, 2, 3, 4} // 2x2
+	ata := AtA(j, 2, 2)
+	want := []float64{10, 14, 14, 20}
+	for i := range want {
+		if ata[i] != want[i] {
+			t.Fatalf("AtA = %v, want %v", ata, want)
+		}
+	}
+	atb := AtB(j, []float64{1, 1}, 2, 2)
+	if atb[0] != 4 || atb[1] != 6 {
+		t.Errorf("AtB = %v, want [4 6]", atb)
+	}
+	// Residual solve sanity: x = (JᵀJ)⁻¹ Jᵀ b reproduces exact solution
+	// for square invertible J.
+	x, err := SolveGauss(ata, atb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := MatVec(j, x, 2, 2)
+	for i, v := range back {
+		if math.Abs(v-1) > 1e-9 {
+			t.Errorf("residual check [%d] = %v, want 1", i, v)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrapezoid(t *testing.T) {
+	// Integral of x over [0, 1] is 0.5.
+	x := LinSpace(0, 1, 101)
+	y := make([]float64, len(x))
+	copy(y, x)
+	if got := Trapezoid(x, y); !AlmostEqual(got, 0.5, 1e-9) {
+		t.Errorf("Trapezoid = %v, want 0.5", got)
+	}
+	// Integral of x^2 over [0, 1] approximates 1/3.
+	for i, v := range x {
+		y[i] = v * v
+	}
+	if got := Trapezoid(x, y); math.Abs(got-1.0/3.0) > 1e-4 {
+		t.Errorf("Trapezoid x^2 = %v, want ~1/3", got)
+	}
+	if got := Trapezoid([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("Trapezoid single point = %v, want 0", got)
+	}
+}
+
+func TestCumTrapezoid(t *testing.T) {
+	x := []float64{0, 1, 2}
+	y := []float64{1, 1, 1}
+	got := CumTrapezoid(x, y)
+	want := []float64{0, 1, 2}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("CumTrapezoid[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInterp(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 40}
+	tests := []struct{ x, want float64 }{
+		{-1, 0},   // clamp left
+		{3, 40},   // clamp right
+		{0.5, 5},  // interior
+		{1.5, 25}, // interior
+		{1, 10},   // exact knot
+	}
+	for _, tc := range tests {
+		if got := Interp(tc.x, xs, ys); !AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Interp(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Interp(1, nil, nil)) {
+		t.Error("Interp on empty knots should be NaN")
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	got := LinSpace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("LinSpace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := LinSpace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("LinSpace n=1 = %v", got)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	got := LogSpace(0, 3, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if !AlmostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	xs := []float64{3, 9, -2, 9}
+	if got := ArgMax(xs); got != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin(xs); got != 2 {
+		t.Errorf("ArgMin = %d, want 2", got)
+	}
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Error("ArgMax/ArgMin of empty should be -1")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 0) {
+		t.Error("identical values must compare equal")
+	}
+	if !AlmostEqual(1e9, 1e9+1, 1e-6) {
+		t.Error("relative tolerance should accept close large values")
+	}
+	if AlmostEqual(1, 2, 1e-6) {
+		t.Error("distant values must not compare equal")
+	}
+}

@@ -1,0 +1,137 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// SavGolFilter holds precomputed Savitzky-Golay convolution coefficients
+// for a given window length, polynomial order and derivative order.
+//
+// The filter fits, at every sample, a polynomial of the configured order
+// to the surrounding window by linear least squares, and evaluates the
+// requested derivative of that polynomial at the window center. It is the
+// smoothing differentiator used by the residual-peak detection step of
+// the volume-model fitting algorithm (paper §5.2).
+type SavGolFilter struct {
+	window int       // window length, odd
+	order  int       // polynomial order
+	deriv  int       // derivative order
+	coeffs []float64 // convolution coefficients, length window
+}
+
+// NewSavGolFilter builds a Savitzky-Golay filter with the given window
+// length (must be odd and > order), polynomial order (>= deriv) and
+// derivative order (0 for pure smoothing, 1 for the first derivative).
+// The derivative is expressed per unit sample spacing; divide the output
+// by h^deriv for samples spaced h apart.
+func NewSavGolFilter(window, order, deriv int) (*SavGolFilter, error) {
+	if window <= 0 || window%2 == 0 {
+		return nil, fmt.Errorf("mathx: savgol window must be odd and positive, got %d", window)
+	}
+	if order < 0 || order >= window {
+		return nil, fmt.Errorf("mathx: savgol order %d invalid for window %d", order, window)
+	}
+	if deriv < 0 || deriv > order {
+		return nil, fmt.Errorf("mathx: savgol derivative %d exceeds order %d", deriv, order)
+	}
+	half := window / 2
+	np := order + 1
+
+	// Normal equations for the Vandermonde system: (VᵀV) a = Vᵀ e_i,
+	// where V[i][j] = i^j for i in [-half, half]. The convolution
+	// coefficient for offset i is the deriv-th polynomial coefficient of
+	// the least-squares fit to the unit impulse at i, times deriv!.
+	vtv := make([]float64, np*np)
+	for r := 0; r < np; r++ {
+		for c := 0; c < np; c++ {
+			var s float64
+			for i := -half; i <= half; i++ {
+				s += math.Pow(float64(i), float64(r+c))
+			}
+			vtv[r*np+c] = s
+		}
+	}
+	coeffs := make([]float64, window)
+	for i := -half; i <= half; i++ {
+		rhs := make([]float64, np)
+		for r := 0; r < np; r++ {
+			rhs[r] = math.Pow(float64(i), float64(r))
+		}
+		sol, err := SolveGauss(vtv, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("mathx: savgol normal equations: %w", err)
+		}
+		f := 1.0
+		for k := 2; k <= deriv; k++ {
+			f *= float64(k)
+		}
+		coeffs[i+half] = sol[deriv] * f
+	}
+	return &SavGolFilter{window: window, order: order, deriv: deriv, coeffs: coeffs}, nil
+}
+
+// Window returns the filter's window length.
+func (f *SavGolFilter) Window() int { return f.window }
+
+// Apply convolves the filter with xs and returns a slice of the same
+// length. Edges are handled by mirroring the signal, which preserves
+// slope continuity and avoids spurious boundary peaks.
+func (f *SavGolFilter) Apply(xs []float64) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	half := f.window / 2
+	at := func(i int) float64 {
+		// Mirror: ..., x2, x1, x0, x1, x2, ... on both ends.
+		for i < 0 || i >= n {
+			if i < 0 {
+				i = -i
+			}
+			if i >= n {
+				i = 2*(n-1) - i
+			}
+			if n == 1 {
+				return xs[0]
+			}
+		}
+		return xs[i]
+	}
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := -half; k <= half; k++ {
+			s += f.coeffs[k+half] * at(i+k)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SavGol is a convenience wrapper that builds a filter and applies it.
+func SavGol(xs []float64, window, order, deriv int) ([]float64, error) {
+	f, err := NewSavGolFilter(window, order, deriv)
+	if err != nil {
+		return nil, err
+	}
+	return f.Apply(xs), nil
+}
+
+// FiniteDiff returns the central finite-difference first derivative of xs
+// assuming unit sample spacing, with one-sided differences at the edges.
+// It is the raw (unsmoothed) alternative to the Savitzky-Golay derivative
+// used by the smoothing ablation.
+func FiniteDiff(xs []float64) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	out[0] = xs[1] - xs[0]
+	out[n-1] = xs[n-1] - xs[n-2]
+	for i := 1; i < n-1; i++ {
+		out[i] = (xs[i+1] - xs[i-1]) / 2
+	}
+	return out
+}

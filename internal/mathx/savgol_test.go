@@ -1,0 +1,128 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSavGolFilterValidation(t *testing.T) {
+	cases := []struct {
+		name                 string
+		window, order, deriv int
+		wantErr              bool
+	}{
+		{"valid smoothing", 5, 2, 0, false},
+		{"valid derivative", 7, 3, 1, false},
+		{"even window", 4, 2, 0, true},
+		{"zero window", 0, 0, 0, true},
+		{"order too high", 5, 5, 0, true},
+		{"deriv above order", 5, 2, 3, true},
+		{"negative deriv", 5, 2, -1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSavGolFilter(tc.window, tc.order, tc.deriv)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A polynomial of degree <= order must pass through the filter unchanged
+// (smoothing) and have its exact derivative computed.
+func TestSavGolExactOnPolynomials(t *testing.T) {
+	xs := make([]float64, 41)
+	dys := make([]float64, 41)
+	ys := make([]float64, 41)
+	for i := range xs {
+		x := float64(i)
+		xs[i] = x
+		ys[i] = 2 + 3*x + 0.5*x*x
+		dys[i] = 3 + x
+	}
+	smooth, err := SavGol(ys, 7, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deriv, err := SavGol(ys, 7, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior points are exact; mirrored edges distort a quadratic's
+	// derivative, so check away from boundaries.
+	for i := 3; i < len(xs)-3; i++ {
+		if !AlmostEqual(smooth[i], ys[i], 1e-8) {
+			t.Errorf("smooth[%d] = %v, want %v", i, smooth[i], ys[i])
+		}
+		if !AlmostEqual(deriv[i], dys[i], 1e-8) {
+			t.Errorf("deriv[%d] = %v, want %v", i, deriv[i], dys[i])
+		}
+	}
+}
+
+func TestSavGolSmoothsNoise(t *testing.T) {
+	// A noisy constant should come out with smaller deviation.
+	n := 101
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = 5 + 0.5*math.Sin(float64(i)*math.Pi) // alternating +-0.5-ish
+	}
+	smooth, err := SavGol(ys, 9, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Std(smooth) >= Std(ys) {
+		t.Errorf("smoothing did not reduce deviation: %v >= %v", Std(smooth), Std(ys))
+	}
+}
+
+func TestSavGolEmptyAndShort(t *testing.T) {
+	out, err := SavGol(nil, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("len = %d, want 0", len(out))
+	}
+	out, err = SavGol([]float64{3}, 5, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !AlmostEqual(out[0], 3, 1e-9) {
+		t.Errorf("single sample smoothing = %v, want [3]", out)
+	}
+}
+
+func TestSavGolCoefficientsSumToOne(t *testing.T) {
+	// Smoothing coefficients form a weighted average.
+	f, err := NewSavGolFilter(9, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Sum(f.coeffs); !AlmostEqual(got, 1, 1e-9) {
+		t.Errorf("sum of smoothing coefficients = %v, want 1", got)
+	}
+	// First-derivative coefficients sum to zero.
+	fd, err := NewSavGolFilter(9, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Sum(fd.coeffs); math.Abs(got) > 1e-9 {
+		t.Errorf("sum of derivative coefficients = %v, want 0", got)
+	}
+}
+
+func TestFiniteDiff(t *testing.T) {
+	ys := []float64{0, 1, 4, 9, 16} // x^2 at x=0..4
+	d := FiniteDiff(ys)
+	want := []float64{1, 2, 4, 6, 7}
+	for i := range want {
+		if !AlmostEqual(d[i], want[i], 1e-12) {
+			t.Errorf("FiniteDiff[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	if got := FiniteDiff([]float64{5}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("FiniteDiff singleton = %v", got)
+	}
+}

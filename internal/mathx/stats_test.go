@@ -1,0 +1,222 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		sum  float64
+		mean float64
+	}{
+		{"empty", nil, 0, math.NaN()},
+		{"single", []float64{4}, 4, 4},
+		{"several", []float64{1, 2, 3, 4}, 10, 2.5},
+		{"negatives", []float64{-1, 1, -2, 2}, 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Sum(tc.in); got != tc.sum {
+				t.Errorf("Sum = %v, want %v", got, tc.sum)
+			}
+			got := Mean(tc.in)
+			if math.IsNaN(tc.mean) {
+				if !math.IsNaN(got) {
+					t.Errorf("Mean = %v, want NaN", got)
+				}
+			} else if got != tc.mean {
+				t.Errorf("Mean = %v, want %v", got, tc.mean)
+			}
+		})
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 3})
+	if !AlmostEqual(got, 2.5, 1e-12) {
+		t.Errorf("WeightedMean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(WeightedMean([]float64{1}, []float64{0})) {
+		t.Error("WeightedMean with zero weights should be NaN")
+	}
+	if !math.IsNaN(WeightedMean([]float64{1, 2}, []float64{1})) {
+		t.Error("WeightedMean with mismatched lengths should be NaN")
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := PopVariance(xs); !AlmostEqual(got, 4, 1e-12) {
+		t.Errorf("PopVariance = %v, want 4", got)
+	}
+	if got := Variance(xs); !AlmostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := Std(xs); !AlmostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Std = %v", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance of singleton = %v, want 0", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CV(xs); got != 0 {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	if !math.IsNaN(CV([]float64{-1, 1})) {
+		t.Error("CV with zero mean should be NaN")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	sym := []float64{1, 2, 3, 4, 5}
+	if got := Skewness(sym); math.Abs(got) > 1e-12 {
+		t.Errorf("Skewness of symmetric data = %v, want 0", got)
+	}
+	right := []float64{1, 1, 1, 1, 10}
+	if got := Skewness(right); got <= 0 {
+		t.Errorf("Skewness of right-tailed data = %v, want > 0", got)
+	}
+	if got := Skewness([]float64{1, 2}); got != 0 {
+		t.Errorf("Skewness of short input = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 7)", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("MinMax of empty should be NaN, NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); !AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// Input must not be modified.
+	if xs[0] != 4 {
+		t.Error("Quantile modified its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	if !math.IsNaN(Quantile(xs, 1.5)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := Percentiles(xs, []float64{0, 0.5, 1})
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMedianMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		if m, q := Median(xs), Quantile(xs, 0.5); m != q {
+			t.Fatalf("Median = %v, Quantile(0.5) = %v", m, q)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp above = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp below = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestAbsPercentageError(t *testing.T) {
+	if got := AbsPercentageError(110, 100); !AlmostEqual(got, 10, 1e-12) {
+		t.Errorf("APE = %v, want 10", got)
+	}
+	if got := AbsPercentageError(0, 0); got != 0 {
+		t.Errorf("APE(0,0) = %v, want 0", got)
+	}
+	if got := AbsPercentageError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("APE(1,0) = %v, want +Inf", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		min, max := MinMax(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev-1e-9 || v < min-1e-9 || v > max+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation invariant and scales quadratically.
+func TestVarianceScalingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		for i, x := range xs {
+			shifted[i] = x + 42
+			scaled[i] = 3 * x
+		}
+		v := Variance(xs)
+		return AlmostEqual(Variance(shifted), v, 1e-6) &&
+			AlmostEqual(Variance(scaled), 9*v, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiletraffic/internal/services"
+)
+
+// Session is one simulated transport-layer session served (possibly in
+// part) by a single BS, the unit of observation of the whole paper.
+type Session struct {
+	BS      int     // topology index of the serving BS
+	Service int     // index into the simulator's service catalog
+	Day     int     // simulation day
+	Minute  int     // minute of day of session establishment
+	Start   float64 // second of day of establishment
+	// Duration is the time in seconds the session was served by this
+	// BS; for sessions interrupted by a handover it is the dwell time.
+	Duration float64
+	// Volume is the traffic in bytes the session generated at this BS.
+	Volume float64
+	// Truncated marks sessions cut short by UE mobility: the partial,
+	// transient sessions the paper highlights as overlooked by prior
+	// traffic models (insight e, §4.5).
+	Truncated bool
+}
+
+// Throughput returns the session's mean throughput in bytes/second.
+func (s *Session) Throughput() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return s.Volume / s.Duration
+}
+
+// SimConfig configures session synthesis. Zero values take documented
+// defaults.
+type SimConfig struct {
+	// Days is the number of simulated days (default 3; the paper
+	// observes 45 but finds day-type invariance, §4.4).
+	Days int
+	// MoveProb is the probability that a session belongs to an
+	// in-transit UE and is truncated by a handover (default 0.25; any
+	// negative value disables mobility entirely).
+	MoveProb float64
+	// MeanDwell is the mean BS dwell time in seconds for in-transit UEs
+	// (default 45 s, consistent with the paper's reading of Netflix's
+	// sub-minute transient mode).
+	MeanDwell float64
+	// ShareJitterCV scales the per-BS perturbation of service session
+	// shares (default 0.01: Table 1 reports session-share CVs around 1%).
+	ShareJitterCV float64
+	// Weekend scales arrival rates on Saturdays and Sundays (default 1:
+	// §4.4 finds workday/weekend session-level statistics
+	// indistinguishable).
+	Weekend float64
+	Seed    int64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Days <= 0 {
+		c.Days = 3
+	}
+	switch {
+	case c.MoveProb == 0:
+		c.MoveProb = 0.25
+	case c.MoveProb < 0:
+		c.MoveProb = 0
+	}
+	if c.MeanDwell <= 0 {
+		c.MeanDwell = 45
+	}
+	if c.ShareJitterCV <= 0 {
+		c.ShareJitterCV = 0.01
+	}
+	if c.Weekend <= 0 {
+		c.Weekend = 1
+	}
+	return c
+}
+
+// Simulator generates the session workload of a Topology according to
+// the ground-truth service catalog.
+type Simulator struct {
+	Topo     *Topology
+	Config   SimConfig
+	Services []services.Profile
+	// baseProbs holds the nationwide per-service session probabilities;
+	// bsProbs the per-BS jittered variants (constant over time, CV ~1%,
+	// §5.1).
+	baseProbs []float64
+	bsProbs   [][]float64
+}
+
+// NewSimulator builds a simulator over the topology using the full
+// 31-service catalog.
+func NewSimulator(topo *Topology, cfg SimConfig) (*Simulator, error) {
+	profiles, _ := services.SessionShareProbs()
+	return NewSimulatorWithCatalog(topo, cfg, profiles)
+}
+
+// NewSimulatorWithCatalog builds a simulator over a custom service
+// catalog — e.g. a future-year catalog with drifted popularity to study
+// model aging (§7 notes the models "will require updates over the
+// years"). Profiles must have positive session shares.
+func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.Profile) (*Simulator, error) {
+	if topo == nil || len(topo.BSs) == 0 {
+		return nil, fmt.Errorf("netsim: empty topology")
+	}
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("netsim: empty service catalog")
+	}
+	c := cfg.withDefaults()
+	var total float64
+	for _, p := range profiles {
+		if p.SessionSharePct < 0 {
+			return nil, fmt.Errorf("netsim: negative session share for %s", p.Name)
+		}
+		total += p.SessionSharePct
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("netsim: catalog session shares sum to zero")
+	}
+	probs := make([]float64, len(profiles))
+	for i, p := range profiles {
+		probs[i] = p.SessionSharePct / total
+	}
+	s := &Simulator{
+		Topo:      topo,
+		Config:    c,
+		Services:  profiles,
+		baseProbs: probs,
+	}
+	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
+	s.bsProbs = make([][]float64, len(topo.BSs))
+	for b := range topo.BSs {
+		p := make([]float64, len(probs))
+		var total float64
+		for i, v := range probs {
+			p[i] = v * math.Max(0, 1+c.ShareJitterCV*rng.NormFloat64())
+			total += p[i]
+		}
+		for i := range p {
+			p[i] /= total
+		}
+		s.bsProbs[b] = p
+	}
+	return s, nil
+}
+
+// ServiceIndex returns the catalog index of the named service.
+func (s *Simulator) ServiceIndex(name string) (int, error) {
+	for i, p := range s.Services {
+		if p.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("netsim: unknown service %q", name)
+}
+
+// IsWeekend reports whether the simulation day falls on a weekend
+// (days count from Monday = 0).
+func IsWeekend(day int) bool {
+	d := day % 7
+	return d == 5 || d == 6
+}
+
+// dayRNG derives a deterministic per-(BS, day) random stream so that
+// days and BSs can be generated independently and in any order.
+func (s *Simulator) dayRNG(bsIdx, day int) *rand.Rand {
+	seed := uint64(s.Config.Seed)
+	seed = seed*0x9E3779B97F4A7C15 + uint64(bsIdx)*0xBF58476D1CE4E5B9 + uint64(day)*0x94D049BB133111EB + 1
+	// SplitMix64 finalizer for good bit dispersion across (bs, day).
+	seed ^= seed >> 30
+	seed *= 0xBF58476D1CE4E5B9
+	seed ^= seed >> 27
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// GenerateDay synthesizes all sessions established at the BS (by
+// topology index) during the given day, invoking yield for each. The
+// per-(BS, day) stream is deterministic in the simulator seed.
+func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
+	if bsIdx < 0 || bsIdx >= len(s.Topo.BSs) {
+		return fmt.Errorf("netsim: BS index %d out of range [0, %d)", bsIdx, len(s.Topo.BSs))
+	}
+	if day < 0 {
+		return fmt.Errorf("netsim: negative day %d", day)
+	}
+	bs := &s.Topo.BSs[bsIdx]
+	rng := s.dayRNG(bsIdx, day)
+	probs := s.bsProbs[bsIdx]
+	weekendScale := 1.0
+	if IsWeekend(day) {
+		weekendScale = s.Config.Weekend
+	}
+	for minute := 0; minute < MinutesPerDay; minute++ {
+		n := ArrivalCount(bs, minute, rng)
+		if weekendScale != 1 {
+			n = int(math.Round(float64(n) * weekendScale))
+		}
+		for k := 0; k < n; k++ {
+			svc := services.PickService(probs, rng)
+			prof := &s.Services[svc]
+			volume := prof.SampleVolume(rng)
+			duration := prof.SampleDuration(volume, rng)
+			truncated := false
+			if rng.Float64() < s.Config.MoveProb {
+				dwell := rng.ExpFloat64() * s.Config.MeanDwell
+				if dwell < 1 {
+					dwell = 1
+				}
+				if dwell < duration {
+					// The BS only sees the dwell-time share of the
+					// session: volume pro-rated on served time.
+					volume *= dwell / duration
+					duration = dwell
+					truncated = true
+				}
+			}
+			yield(Session{
+				BS:        bsIdx,
+				Service:   svc,
+				Day:       day,
+				Minute:    minute,
+				Start:     float64(minute)*60 + rng.Float64()*60,
+				Duration:  duration,
+				Volume:    volume,
+				Truncated: truncated,
+			})
+		}
+	}
+	return nil
+}
+
+// GenerateAll synthesizes every configured day for every BS, invoking
+// yield per session, days outermost.
+func (s *Simulator) GenerateAll(yield func(Session)) error {
+	for day := 0; day < s.Config.Days; day++ {
+		for b := range s.Topo.BSs {
+			if err := s.GenerateDay(b, day, yield); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,453 @@
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/mathx"
+	"mobiletraffic/internal/netsim"
+)
+
+// Default measurement grids. Volumes live on a log10-bytes abscissa
+// from 100 B to ~30 GB; durations on a log10-seconds abscissa from 1 s
+// to ~28 h, matching the "discretized duration" pairs of §3.2.
+var (
+	// DefaultVolumeEdges spans log10(bytes) in [2, 10.5] with 0.05-decade bins.
+	DefaultVolumeEdges = mathx.LinSpace(2, 10.5, 171)
+	// DefaultDurationEdges spans log10(seconds) in [0, 5] with 0.1-decade bins.
+	DefaultDurationEdges = mathx.LinSpace(0, 5, 51)
+)
+
+// StatKey identifies one (service, BS, day) statistics cell.
+type StatKey struct {
+	Service int
+	BS      int
+	Day     int
+}
+
+// DayStats holds the privacy-preserving aggregate the operator exports
+// per (service, BS, day) tuple (§3.2): per-minute session counts
+// w^{c,m}, the traffic volume PDF F^{c,t}, and duration-volume pairs
+// v^{c,t}(d).
+type DayStats struct {
+	// MinuteCounts[m] is the number of sessions established in minute m.
+	MinuteCounts []float64
+	// Sessions is the daily total w^{c,t}.
+	Sessions float64
+	// Volume is the histogram of per-session log10 traffic volume.
+	Volume *dist.Hist
+	// DurVolSum[i] and DurCount[i] accumulate volume and session count
+	// per duration bin, so DurVolSum[i]/DurCount[i] is v(d_i).
+	DurVolSum, DurCount []float64
+}
+
+// PairValues returns the mean volume per duration bin (NaN for empty
+// bins): the v^{c,t}_s(d) value pairs.
+func (d *DayStats) PairValues() []float64 {
+	out := make([]float64, len(d.DurVolSum))
+	for i := range out {
+		if d.DurCount[i] > 0 {
+			out[i] = d.DurVolSum[i] / d.DurCount[i]
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// Collector accumulates simulated sessions into the per-(service, BS,
+// day) statistics of §3.2.
+type Collector struct {
+	VolumeEdges   []float64
+	DurationEdges []float64
+	NumServices   int
+	stats         map[StatKey]*DayStats
+}
+
+// NewCollector returns a Collector over the default measurement grids.
+func NewCollector(numServices int) (*Collector, error) {
+	if numServices <= 0 {
+		return nil, fmt.Errorf("probe: collector needs >= 1 service, got %d", numServices)
+	}
+	return &Collector{
+		VolumeEdges:   DefaultVolumeEdges,
+		DurationEdges: DefaultDurationEdges,
+		NumServices:   numServices,
+		stats:         make(map[StatKey]*DayStats),
+	}, nil
+}
+
+func (c *Collector) cell(key StatKey) (*DayStats, error) {
+	st, ok := c.stats[key]
+	if ok {
+		return st, nil
+	}
+	vol, err := dist.NewHist(c.VolumeEdges)
+	if err != nil {
+		return nil, err
+	}
+	st = &DayStats{
+		MinuteCounts: make([]float64, netsim.MinutesPerDay),
+		Volume:       vol,
+		DurVolSum:    make([]float64, len(c.DurationEdges)-1),
+		DurCount:     make([]float64, len(c.DurationEdges)-1),
+	}
+	c.stats[key] = st
+	return st, nil
+}
+
+// durBin maps a duration in seconds to its log-spaced bin index.
+func (c *Collector) durBin(duration float64) int {
+	u := math.Log10(math.Max(duration, 1))
+	n := len(c.DurationEdges) - 1
+	if u <= c.DurationEdges[0] {
+		return 0
+	}
+	if u >= c.DurationEdges[n] {
+		return n - 1
+	}
+	span := c.DurationEdges[n] - c.DurationEdges[0]
+	i := int((u - c.DurationEdges[0]) / span * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Observe folds one session into the statistics.
+func (c *Collector) Observe(s netsim.Session) error {
+	if s.Service < 0 || s.Service >= c.NumServices {
+		return fmt.Errorf("probe: session service %d out of range [0, %d)", s.Service, c.NumServices)
+	}
+	if s.Minute < 0 || s.Minute >= netsim.MinutesPerDay {
+		return fmt.Errorf("probe: session minute %d out of range", s.Minute)
+	}
+	st, err := c.cell(StatKey{Service: s.Service, BS: s.BS, Day: s.Day})
+	if err != nil {
+		return err
+	}
+	st.MinuteCounts[s.Minute]++
+	st.Sessions++
+	st.Volume.Add(math.Log10(math.Max(s.Volume, 1)), 1)
+	bin := c.durBin(s.Duration)
+	st.DurVolSum[bin] += s.Volume
+	st.DurCount[bin]++
+	return nil
+}
+
+// Get returns the statistics cell for a key, if present.
+func (c *Collector) Get(key StatKey) (*DayStats, bool) {
+	st, ok := c.stats[key]
+	return st, ok
+}
+
+// Keys returns every populated (service, BS, day) key.
+func (c *Collector) Keys() []StatKey {
+	out := make([]StatKey, 0, len(c.stats))
+	for k := range c.stats {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys returns the populated keys in deterministic (service, BS,
+// day) order. Every aggregation iterates in this order so that
+// floating-point summation — and therefore every fitted parameter — is
+// reproducible run to run regardless of map layout or the parallelism
+// of collection.
+func (c *Collector) sortedKeys() []StatKey {
+	out := c.Keys()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		if a.BS != b.BS {
+			return a.BS < b.BS
+		}
+		return a.Day < b.Day
+	})
+	return out
+}
+
+// KeyFilter selects a subset of statistics cells.
+type KeyFilter func(StatKey) bool
+
+// ForService returns a filter keeping one service.
+func ForService(svc int) KeyFilter { return func(k StatKey) bool { return k.Service == svc } }
+
+// And combines filters conjunctively.
+func And(fs ...KeyFilter) KeyFilter {
+	return func(k StatKey) bool {
+		for _, f := range fs {
+			if !f(k) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// BSIn returns a filter keeping BSs from the given index set.
+func BSIn(idx []int) KeyFilter {
+	set := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		set[i] = true
+	}
+	return func(k StatKey) bool { return set[k.BS] }
+}
+
+// DayIn returns a filter keeping the given days.
+func DayIn(days ...int) KeyFilter {
+	set := make(map[int]bool, len(days))
+	for _, d := range days {
+		set[d] = true
+	}
+	return func(k StatKey) bool { return set[k.Day] }
+}
+
+// Weekdays keeps Monday-Friday cells (day 0 = Monday).
+func Weekdays() KeyFilter { return func(k StatKey) bool { return !netsim.IsWeekend(k.Day) } }
+
+// Weekends keeps Saturday/Sunday cells.
+func Weekends() KeyFilter { return func(k StatKey) bool { return netsim.IsWeekend(k.Day) } }
+
+// AggregateVolume merges the volume PDFs of every cell passing the
+// filter via the session-count-weighted mixture of Eq. (2), returning
+// the normalized aggregate F_s(x) and the total session weight.
+func (c *Collector) AggregateVolume(filter KeyFilter) (*dist.Hist, float64, error) {
+	var hists []*dist.Hist
+	var weights []float64
+	var total float64
+	for _, k := range c.sortedKeys() {
+		st := c.stats[k]
+		if filter != nil && !filter(k) {
+			continue
+		}
+		if st.Sessions <= 0 {
+			continue
+		}
+		h := st.Volume.Clone()
+		if err := h.Normalize(); err != nil {
+			continue
+		}
+		hists = append(hists, h)
+		weights = append(weights, st.Sessions)
+		total += st.Sessions
+	}
+	if len(hists) == 0 {
+		return nil, 0, fmt.Errorf("probe: no cells match the volume aggregation filter")
+	}
+	mixed, err := dist.MixHists(hists, weights)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mixed, total, nil
+}
+
+// AggregatePairs merges duration-volume pairs across cells passing the
+// filter via the session-count-weighted average of Eq. (1). It returns
+// the mean volume per duration bin (NaN where no sessions fell) and the
+// per-bin session counts.
+func (c *Collector) AggregatePairs(filter KeyFilter) (values, counts []float64, err error) {
+	n := len(c.DurationEdges) - 1
+	sum := make([]float64, n)
+	cnt := make([]float64, n)
+	matched := false
+	for _, k := range c.sortedKeys() {
+		st := c.stats[k]
+		if filter != nil && !filter(k) {
+			continue
+		}
+		matched = true
+		for i := 0; i < n; i++ {
+			sum[i] += st.DurVolSum[i]
+			cnt[i] += st.DurCount[i]
+		}
+	}
+	if !matched {
+		return nil, nil, fmt.Errorf("probe: no cells match the pair aggregation filter")
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if cnt[i] > 0 {
+			values[i] = sum[i] / cnt[i]
+		} else {
+			values[i] = math.NaN()
+		}
+	}
+	return values, cnt, nil
+}
+
+// MinuteCountSamples gathers the per-minute arrival counts w^{c,m} of
+// every cell passing the filter, summed over services minute by minute
+// per (BS, day) — the raw samples behind the Fig. 3 arrival PDFs.
+// minuteFilter optionally restricts which minutes contribute (e.g.
+// netsim.IsPeakMinute).
+func (c *Collector) MinuteCountSamples(filter KeyFilter, minuteFilter func(int) bool) []float64 {
+	type bsDay struct{ bs, day int }
+	perBSDay := make(map[bsDay][]float64)
+	var order []bsDay
+	for _, k := range c.sortedKeys() {
+		st := c.stats[k]
+		if filter != nil && !filter(k) {
+			continue
+		}
+		key := bsDay{k.BS, k.Day}
+		acc, ok := perBSDay[key]
+		if !ok {
+			acc = make([]float64, netsim.MinutesPerDay)
+			perBSDay[key] = acc
+			order = append(order, key)
+		}
+		for m, v := range st.MinuteCounts {
+			acc[m] += v
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].bs != order[j].bs {
+			return order[i].bs < order[j].bs
+		}
+		return order[i].day < order[j].day
+	})
+	var out []float64
+	for _, key := range order {
+		for m, v := range perBSDay[key] {
+			if minuteFilter != nil && !minuteFilter(m) {
+				continue
+			}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SessionShare returns, per service, the fraction of all observed
+// sessions (the Table 1 "Sessions %" column) across cells passing the
+// filter, plus the coefficient of variation of that share across
+// (BS, day) cells.
+func (c *Collector) SessionShare(filter KeyFilter) (share, cv []float64, err error) {
+	type bsDay struct{ bs, day int }
+	perCell := make(map[bsDay][]float64)
+	var cellOrder []bsDay
+	totals := make([]float64, c.NumServices)
+	var grand float64
+	for _, k := range c.sortedKeys() {
+		st := c.stats[k]
+		if filter != nil && !filter(k) {
+			continue
+		}
+		cell := bsDay{k.BS, k.Day}
+		if _, ok := perCell[cell]; !ok {
+			perCell[cell] = make([]float64, c.NumServices)
+			cellOrder = append(cellOrder, cell)
+		}
+		perCell[cell][k.Service] += st.Sessions
+		totals[k.Service] += st.Sessions
+		grand += st.Sessions
+	}
+	sort.Slice(cellOrder, func(i, j int) bool {
+		if cellOrder[i].bs != cellOrder[j].bs {
+			return cellOrder[i].bs < cellOrder[j].bs
+		}
+		return cellOrder[i].day < cellOrder[j].day
+	})
+	if grand <= 0 {
+		return nil, nil, fmt.Errorf("probe: no sessions match the share filter")
+	}
+	share = make([]float64, c.NumServices)
+	for s := range share {
+		share[s] = totals[s] / grand
+	}
+	// CV of the per-cell share around its mean.
+	cv = make([]float64, c.NumServices)
+	for s := 0; s < c.NumServices; s++ {
+		var vals []float64
+		for _, cell := range cellOrder {
+			counts := perCell[cell]
+			var cellTotal float64
+			for _, v := range counts {
+				cellTotal += v
+			}
+			if cellTotal > 0 {
+				vals = append(vals, counts[s]/cellTotal)
+			}
+		}
+		if len(vals) > 1 && mathx.Mean(vals) > 0 {
+			cv[s] = mathx.Std(vals) / mathx.Mean(vals)
+		}
+	}
+	return share, cv, nil
+}
+
+// TrafficShare returns, per service, the fraction of total traffic
+// volume (the Table 1 "Traffic %" column) across cells passing the
+// filter, plus the per-cell coefficient of variation.
+func (c *Collector) TrafficShare(filter KeyFilter) (share, cv []float64, err error) {
+	type bsDay struct{ bs, day int }
+	perCell := make(map[bsDay][]float64)
+	var cellOrder []bsDay
+	totals := make([]float64, c.NumServices)
+	var grand float64
+	for _, k := range c.sortedKeys() {
+		st := c.stats[k]
+		if filter != nil && !filter(k) {
+			continue
+		}
+		var vol float64
+		for i := range st.DurVolSum {
+			vol += st.DurVolSum[i]
+		}
+		cell := bsDay{k.BS, k.Day}
+		if _, ok := perCell[cell]; !ok {
+			perCell[cell] = make([]float64, c.NumServices)
+			cellOrder = append(cellOrder, cell)
+		}
+		perCell[cell][k.Service] += vol
+		totals[k.Service] += vol
+		grand += vol
+	}
+	sort.Slice(cellOrder, func(i, j int) bool {
+		if cellOrder[i].bs != cellOrder[j].bs {
+			return cellOrder[i].bs < cellOrder[j].bs
+		}
+		return cellOrder[i].day < cellOrder[j].day
+	})
+	if grand <= 0 {
+		return nil, nil, fmt.Errorf("probe: no traffic matches the share filter")
+	}
+	share = make([]float64, c.NumServices)
+	for s := range share {
+		share[s] = totals[s] / grand
+	}
+	cv = make([]float64, c.NumServices)
+	for s := 0; s < c.NumServices; s++ {
+		var vals []float64
+		for _, cell := range cellOrder {
+			vols := perCell[cell]
+			var cellTotal float64
+			for _, v := range vols {
+				cellTotal += v
+			}
+			if cellTotal > 0 {
+				vals = append(vals, vols[s]/cellTotal)
+			}
+		}
+		if len(vals) > 1 && mathx.Mean(vals) > 0 {
+			cv[s] = mathx.Std(vals) / mathx.Mean(vals)
+		}
+	}
+	return share, cv, nil
+}
+
+// DurationCenters returns the duration-bin centers in seconds.
+func (c *Collector) DurationCenters() []float64 {
+	n := len(c.DurationEdges) - 1
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Pow(10, (c.DurationEdges[i]+c.DurationEdges[i+1])/2)
+	}
+	return out
+}

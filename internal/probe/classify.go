@@ -1,0 +1,70 @@
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Classifier stands in for the operator's proprietary DPI traffic
+// classifier (§3.1): it maps a flow's 5-tuple to a mobile service. The
+// synthetic deployment assigns each service a well-known server port,
+// and the classifier recovers the service from the destination port
+// with a configurable accuracy, so tests can exercise the
+// misclassification path that a real DPI engine would exhibit.
+type Classifier struct {
+	portToService map[uint16]int
+	numServices   int
+	// Accuracy in (0, 1]: the probability a classification is correct;
+	// errors return a uniformly random other service.
+	Accuracy float64
+	rng      *rand.Rand
+}
+
+// ServicePortBase is the first synthetic server port; service i listens
+// on ServicePortBase + i.
+const ServicePortBase = 9000
+
+// ServicePort returns the synthetic well-known port of service index i.
+func ServicePort(i int) uint16 { return uint16(ServicePortBase + i) }
+
+// NewClassifier builds a classifier for numServices services with the
+// given accuracy (values outside (0, 1] default to 1: a perfect DPI
+// engine, which the operator reports theirs is close to).
+func NewClassifier(numServices int, accuracy float64, seed int64) (*Classifier, error) {
+	if numServices <= 0 {
+		return nil, fmt.Errorf("probe: classifier needs >= 1 service, got %d", numServices)
+	}
+	if accuracy <= 0 || accuracy > 1 {
+		accuracy = 1
+	}
+	m := make(map[uint16]int, numServices)
+	for i := 0; i < numServices; i++ {
+		m[ServicePort(i)] = i
+	}
+	return &Classifier{
+		portToService: m,
+		numServices:   numServices,
+		Accuracy:      accuracy,
+		rng:           rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Classify maps a flow to its service index. The bool result is false
+// when the destination port is not a known service port.
+func (c *Classifier) Classify(tuple FiveTuple) (int, bool) {
+	svc, ok := c.portToService[tuple.DstPort]
+	if !ok {
+		return 0, false
+	}
+	if c.Accuracy < 1 && c.rng.Float64() > c.Accuracy {
+		if c.numServices == 1 {
+			return svc, true
+		}
+		other := c.rng.Intn(c.numServices - 1)
+		if other >= svc {
+			other++
+		}
+		return other, true
+	}
+	return svc, true
+}

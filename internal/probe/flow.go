@@ -1,0 +1,252 @@
+// Package probe implements the measurement plane of paper §3: the
+// gateway-probe flow tracker that delimits TCP/UDP transport-layer
+// sessions from packet observations at the SGi interface (§3.2), the
+// RAN-probe signaling stream used to geo-reference sessions to their
+// serving base station (§3.1), a DPI-style traffic classifier, and the
+// aggregation of raw sessions into the per-(service, BS, day)
+// statistics — minute arrival counts w, traffic volume PDFs F, and
+// duration-volume pairs v — together with the weighted averaging of
+// Eq. (1)-(2).
+package probe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Proto is a transport-layer protocol.
+type Proto uint8
+
+// Transport protocols tracked by the gateway probe.
+const (
+	TCP Proto = 6
+	UDP Proto = 17
+)
+
+// String implements fmt.Stringer.
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "TCP"
+	case UDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("Proto(%d)", uint8(p))
+	}
+}
+
+// FiveTuple uniquely identifies a transport-layer session (§1): the
+// protocol plus source/destination IPv4 addresses and ports.
+type FiveTuple struct {
+	Proto            Proto
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+}
+
+// Packet is one packet observation at the gateway probe.
+type Packet struct {
+	Time  float64 // seconds since epoch of the capture
+	Tuple FiveTuple
+	Size  int // payload bytes counted toward the session volume
+	// TCP flags relevant to session delimitation.
+	SYN, FIN, RST bool
+}
+
+// FlowRecord is one completed transport-layer session as assembled by
+// the gateway probe: total traffic, start and end times (§3.1).
+type FlowRecord struct {
+	Tuple   FiveTuple
+	Start   float64
+	End     float64
+	Bytes   int64
+	Packets int
+	// TermReason records why the flow ended.
+	TermReason TermReason
+}
+
+// Duration returns the session duration in seconds.
+func (f *FlowRecord) Duration() float64 { return f.End - f.Start }
+
+// TermReason enumerates why the tracker closed a flow.
+type TermReason int
+
+// Flow termination reasons.
+const (
+	TermFIN     TermReason = iota // TCP FIN observed
+	TermRST                       // TCP RST observed
+	TermTimeout                   // service-specific idle timeout (§3.2)
+	TermFlush                     // tracker shut down with the flow open
+)
+
+// String implements fmt.Stringer.
+func (t TermReason) String() string {
+	switch t {
+	case TermFIN:
+		return "fin"
+	case TermRST:
+		return "rst"
+	case TermTimeout:
+		return "timeout"
+	default:
+		return "flush"
+	}
+}
+
+// TrackerConfig configures session delimitation. The paper notes idle
+// timeouts are service-specific; the TimeoutFor hook supports that.
+type TrackerConfig struct {
+	// TCPTimeout and UDPTimeout are the default idle expirations in
+	// seconds (defaults 300 and 60).
+	TCPTimeout, UDPTimeout float64
+	// TimeoutFor, when set, overrides the default idle timeout per
+	// tuple (e.g. after classifying the destination port to a service).
+	TimeoutFor func(FiveTuple) float64
+}
+
+func (c TrackerConfig) withDefaults() TrackerConfig {
+	if c.TCPTimeout <= 0 {
+		c.TCPTimeout = 300
+	}
+	if c.UDPTimeout <= 0 {
+		c.UDPTimeout = 60
+	}
+	return c
+}
+
+type flowState struct {
+	start, last float64
+	bytes       int64
+	packets     int
+}
+
+// Tracker reassembles transport-layer sessions from packets, following
+// §3.2: a TCP session starts with its first (handshake) packet and is
+// terminated shortly after a FIN or RST, with idle timeouts guarding
+// against unorthodox terminations; a UDP session starts when a new
+// 5-tuple is seen and ends after an idle timeout.
+//
+// Tracker is not safe for concurrent use.
+type Tracker struct {
+	cfg       TrackerConfig
+	active    map[FiveTuple]*flowState
+	completed []FlowRecord
+}
+
+// NewTracker returns a Tracker with the given configuration.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults(), active: make(map[FiveTuple]*flowState)}
+}
+
+// ActiveFlows returns the number of currently open flows.
+func (t *Tracker) ActiveFlows() int { return len(t.active) }
+
+func (t *Tracker) timeout(tuple FiveTuple) float64 {
+	if t.cfg.TimeoutFor != nil {
+		if to := t.cfg.TimeoutFor(tuple); to > 0 {
+			return to
+		}
+	}
+	if tuple.Proto == UDP {
+		return t.cfg.UDPTimeout
+	}
+	return t.cfg.TCPTimeout
+}
+
+// Observe processes one packet. Packets are expected in non-decreasing
+// time order; out-of-order packets are tolerated but extend flows
+// conservatively.
+func (t *Tracker) Observe(p Packet) {
+	st, ok := t.active[p.Tuple]
+	if ok && p.Time-st.last > t.timeout(p.Tuple) {
+		// The previous flow on this tuple expired idle before this
+		// packet: emit it, then start fresh.
+		t.finish(p.Tuple, st, st.last, TermTimeout)
+		ok = false
+	}
+	if !ok {
+		st = &flowState{start: p.Time, last: p.Time}
+		t.active[p.Tuple] = st
+	}
+	st.bytes += int64(p.Size)
+	st.packets++
+	if p.Time > st.last {
+		st.last = p.Time
+	}
+	if p.Tuple.Proto == TCP && (p.FIN || p.RST) {
+		reason := TermFIN
+		if p.RST {
+			reason = TermRST
+		}
+		t.finish(p.Tuple, st, p.Time, reason)
+	}
+}
+
+func (t *Tracker) finish(tuple FiveTuple, st *flowState, end float64, reason TermReason) {
+	t.completed = append(t.completed, FlowRecord{
+		Tuple:      tuple,
+		Start:      st.start,
+		End:        end,
+		Bytes:      st.bytes,
+		Packets:    st.packets,
+		TermReason: reason,
+	})
+	delete(t.active, tuple)
+}
+
+// ExpireIdle closes every flow idle longer than its timeout as of now,
+// returning the number closed.
+func (t *Tracker) ExpireIdle(now float64) int {
+	var tuples []FiveTuple
+	for tuple, st := range t.active {
+		if now-st.last > t.timeout(tuple) {
+			tuples = append(tuples, tuple)
+		}
+	}
+	sort.Slice(tuples, func(i, j int) bool { return less(tuples[i], tuples[j]) })
+	for _, tuple := range tuples {
+		st := t.active[tuple]
+		t.finish(tuple, st, st.last, TermTimeout)
+	}
+	return len(tuples)
+}
+
+// Flush closes all remaining flows (e.g. at capture end) and returns
+// every completed record accumulated so far, clearing the buffer.
+func (t *Tracker) Flush() []FlowRecord {
+	var tuples []FiveTuple
+	for tuple := range t.active {
+		tuples = append(tuples, tuple)
+	}
+	sort.Slice(tuples, func(i, j int) bool { return less(tuples[i], tuples[j]) })
+	for _, tuple := range tuples {
+		st := t.active[tuple]
+		t.finish(tuple, st, st.last, TermFlush)
+	}
+	out := t.completed
+	t.completed = nil
+	return out
+}
+
+// Completed drains and returns the records of flows that have finished
+// so far without touching still-active flows.
+func (t *Tracker) Completed() []FlowRecord {
+	out := t.completed
+	t.completed = nil
+	return out
+}
+
+func less(a, b FiveTuple) bool {
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	if a.SrcIP != b.SrcIP {
+		return a.SrcIP < b.SrcIP
+	}
+	if a.DstIP != b.DstIP {
+		return a.DstIP < b.DstIP
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.DstPort < b.DstPort
+}

@@ -1,0 +1,169 @@
+package probe
+
+import (
+	"testing"
+)
+
+func tcpTuple(port uint16) FiveTuple {
+	return FiveTuple{Proto: TCP, SrcIP: 0x0a000001, DstIP: 0x5db8d822, SrcPort: 40000, DstPort: port}
+}
+
+func udpTuple(port uint16) FiveTuple {
+	return FiveTuple{Proto: UDP, SrcIP: 0x0a000002, DstIP: 0x5db8d823, SrcPort: 40001, DstPort: port}
+}
+
+func TestTrackerTCPFin(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tuple := tcpTuple(443)
+	tr.Observe(Packet{Time: 0, Tuple: tuple, Size: 100, SYN: true})
+	tr.Observe(Packet{Time: 1, Tuple: tuple, Size: 1400})
+	tr.Observe(Packet{Time: 2.5, Tuple: tuple, Size: 50, FIN: true})
+	recs := tr.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("completed = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Start != 0 || r.End != 2.5 || r.Bytes != 1550 || r.Packets != 3 {
+		t.Errorf("record = %+v", r)
+	}
+	if r.TermReason != TermFIN {
+		t.Errorf("reason = %v, want fin", r.TermReason)
+	}
+	if r.Duration() != 2.5 {
+		t.Errorf("duration = %v", r.Duration())
+	}
+	if tr.ActiveFlows() != 0 {
+		t.Errorf("active = %d", tr.ActiveFlows())
+	}
+}
+
+func TestTrackerTCPRst(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tuple := tcpTuple(80)
+	tr.Observe(Packet{Time: 0, Tuple: tuple, Size: 10})
+	tr.Observe(Packet{Time: 1, Tuple: tuple, Size: 0, RST: true})
+	recs := tr.Completed()
+	if len(recs) != 1 || recs[0].TermReason != TermRST {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestTrackerUDPTimeout(t *testing.T) {
+	tr := NewTracker(TrackerConfig{UDPTimeout: 30})
+	tuple := udpTuple(53)
+	tr.Observe(Packet{Time: 0, Tuple: tuple, Size: 60})
+	tr.Observe(Packet{Time: 5, Tuple: tuple, Size: 60})
+	// Nothing completed while the flow is fresh.
+	if n := tr.ExpireIdle(20); n != 0 {
+		t.Errorf("expired %d flows early", n)
+	}
+	if n := tr.ExpireIdle(36); n != 1 {
+		t.Fatalf("expired %d flows, want 1", n)
+	}
+	recs := tr.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("completed = %d", len(recs))
+	}
+	r := recs[0]
+	// The flow ends at its last packet, not at the expiry check time.
+	if r.End != 5 || r.TermReason != TermTimeout {
+		t.Errorf("record = %+v", r)
+	}
+}
+
+func TestTrackerTupleReuseAfterIdle(t *testing.T) {
+	// A new packet on a tuple idle beyond its timeout starts a second
+	// session (the unorthodox-termination guard of §3.2).
+	tr := NewTracker(TrackerConfig{TCPTimeout: 60})
+	tuple := tcpTuple(443)
+	tr.Observe(Packet{Time: 0, Tuple: tuple, Size: 100})
+	tr.Observe(Packet{Time: 10, Tuple: tuple, Size: 100})
+	tr.Observe(Packet{Time: 500, Tuple: tuple, Size: 100}) // long gap
+	recs := tr.Completed()
+	if len(recs) != 1 {
+		t.Fatalf("completed = %d, want 1 (the expired first session)", len(recs))
+	}
+	if recs[0].End != 10 || recs[0].Bytes != 200 || recs[0].TermReason != TermTimeout {
+		t.Errorf("first session = %+v", recs[0])
+	}
+	if tr.ActiveFlows() != 1 {
+		t.Errorf("active = %d, want 1 (the reused tuple)", tr.ActiveFlows())
+	}
+}
+
+func TestTrackerFlush(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	tr.Observe(Packet{Time: 0, Tuple: tcpTuple(1), Size: 1})
+	tr.Observe(Packet{Time: 0, Tuple: tcpTuple(2), Size: 2})
+	recs := tr.Flush()
+	if len(recs) != 2 {
+		t.Fatalf("flushed = %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.TermReason != TermFlush {
+			t.Errorf("reason = %v", r.TermReason)
+		}
+	}
+	if tr.ActiveFlows() != 0 {
+		t.Errorf("active after flush = %d", tr.ActiveFlows())
+	}
+	// Flush drains the completed buffer.
+	if extra := tr.Flush(); len(extra) != 0 {
+		t.Errorf("second flush returned %d records", len(extra))
+	}
+}
+
+func TestTrackerServiceSpecificTimeout(t *testing.T) {
+	tr := NewTracker(TrackerConfig{
+		UDPTimeout: 60,
+		TimeoutFor: func(tu FiveTuple) float64 {
+			if tu.DstPort == 1000 {
+				return 5 // aggressive per-service timeout
+			}
+			return 0 // fall through to defaults
+		},
+	})
+	short := udpTuple(1000)
+	long := udpTuple(2000)
+	tr.Observe(Packet{Time: 0, Tuple: short, Size: 1})
+	tr.Observe(Packet{Time: 0, Tuple: long, Size: 1})
+	if n := tr.ExpireIdle(10); n != 1 {
+		t.Fatalf("expired %d, want only the short-timeout flow", n)
+	}
+	recs := tr.Completed()
+	if len(recs) != 1 || recs[0].Tuple != short {
+		t.Errorf("expired records = %+v", recs)
+	}
+}
+
+func TestTrackerConcurrentFlows(t *testing.T) {
+	tr := NewTracker(TrackerConfig{})
+	const n = 100
+	for i := 0; i < n; i++ {
+		tr.Observe(Packet{Time: float64(i) / 100, Tuple: tcpTuple(uint16(i)), Size: i})
+	}
+	if tr.ActiveFlows() != n {
+		t.Fatalf("active = %d", tr.ActiveFlows())
+	}
+	for i := 0; i < n; i++ {
+		tr.Observe(Packet{Time: 2, Tuple: tcpTuple(uint16(i)), Size: 0, FIN: true})
+	}
+	recs := tr.Completed()
+	if len(recs) != n {
+		t.Fatalf("completed = %d", len(recs))
+	}
+}
+
+func TestProtoAndReasonStrings(t *testing.T) {
+	if TCP.String() != "TCP" || UDP.String() != "UDP" {
+		t.Error("proto strings")
+	}
+	if Proto(1).String() != "Proto(1)" {
+		t.Error("unknown proto string")
+	}
+	for r, want := range map[TermReason]string{TermFIN: "fin", TermRST: "rst", TermTimeout: "timeout", TermFlush: "flush"} {
+		if r.String() != want {
+			t.Errorf("reason %d string = %s", r, r.String())
+		}
+	}
+}

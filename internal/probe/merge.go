@@ -1,0 +1,54 @@
+package probe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Merge folds the statistics of other into c. Both collectors must
+// share the same service count and measurement grids. Merging is
+// associative and commutative, so a measurement campaign can be
+// aggregated by independent workers (e.g. one per base station) whose
+// collectors are merged afterwards — the map-reduce layout a real
+// probe deployment uses across gateway sites.
+func (c *Collector) Merge(other *Collector) error {
+	if other == nil {
+		return errors.New("probe: merge with nil collector")
+	}
+	if c.NumServices != other.NumServices {
+		return fmt.Errorf("probe: merge service counts differ: %d vs %d", c.NumServices, other.NumServices)
+	}
+	if !sameEdges(c.VolumeEdges, other.VolumeEdges) || !sameEdges(c.DurationEdges, other.DurationEdges) {
+		return errors.New("probe: merge grids differ")
+	}
+	for key, src := range other.stats {
+		dst, err := c.cell(key)
+		if err != nil {
+			return err
+		}
+		for m, v := range src.MinuteCounts {
+			dst.MinuteCounts[m] += v
+		}
+		dst.Sessions += src.Sessions
+		for i, p := range src.Volume.P {
+			dst.Volume.P[i] += p
+		}
+		for i := range src.DurVolSum {
+			dst.DurVolSum[i] += src.DurVolSum[i]
+			dst.DurCount[i] += src.DurCount[i]
+		}
+	}
+	return nil
+}
+
+func sameEdges(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"mobiletraffic/internal/netsim"
+)
+
+func TestMergeEquivalentToSerial(t *testing.T) {
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{Days: 1, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial: everything into one collector.
+	serial, err := NewCollector(len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bs := 0; bs < 10; bs++ {
+		if err := sim.GenerateDay(bs, 0, func(s netsim.Session) {
+			if err := serial.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Split: one collector per BS, merged afterwards.
+	merged, err := NewCollector(len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bs := 0; bs < 10; bs++ {
+		part, err := NewCollector(len(sim.Services))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.GenerateDay(bs, 0, func(s netsim.Session) {
+			if err := part.Observe(s); err != nil {
+				t.Fatal(err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every cell agrees.
+	sk := serial.Keys()
+	mk := merged.Keys()
+	if len(sk) != len(mk) {
+		t.Fatalf("cell counts differ: %d vs %d", len(sk), len(mk))
+	}
+	for _, key := range sk {
+		a, _ := serial.Get(key)
+		b, ok := merged.Get(key)
+		if !ok {
+			t.Fatalf("merged missing cell %+v", key)
+		}
+		if a.Sessions != b.Sessions {
+			t.Fatalf("cell %+v sessions %v vs %v", key, a.Sessions, b.Sessions)
+		}
+		for i := range a.Volume.P {
+			if a.Volume.P[i] != b.Volume.P[i] {
+				t.Fatalf("cell %+v volume bin %d differs", key, i)
+			}
+		}
+		for i := range a.DurVolSum {
+			if math.Abs(a.DurVolSum[i]-b.DurVolSum[i]) > 1e-6 || a.DurCount[i] != b.DurCount[i] {
+				t.Fatalf("cell %+v pair bin %d differs", key, i)
+			}
+		}
+	}
+	// Shares identical after merge.
+	s1, _, err := serial.SessionShare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := merged.SessionShare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if math.Abs(s1[i]-s2[i]) > 1e-12 {
+			t.Fatalf("share %d differs: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	a, _ := NewCollector(3)
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge must error")
+	}
+	b, _ := NewCollector(4)
+	if err := a.Merge(b); err == nil {
+		t.Error("service count mismatch must error")
+	}
+	c, _ := NewCollector(3)
+	c.VolumeEdges = c.VolumeEdges[:len(c.VolumeEdges)-1]
+	if err := a.Merge(c); err == nil {
+		t.Error("grid mismatch must error")
+	}
+}

@@ -1,0 +1,162 @@
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mobiletraffic/internal/netsim"
+)
+
+// Pipeline wires the complete measurement plane of §3.1 together:
+// UE-level flows are packetized and observed by the gateway-probe flow
+// tracker, classified to services by the DPI stand-in, geo-referenced
+// and split at handovers using the RAN-probe signaling stream, and
+// finally aggregated into the per-(service, BS, day) statistics.
+type Pipeline struct {
+	Classifier *Classifier
+	Tracker    *Tracker
+	Packetizer *Packetizer
+	Collector  *Collector
+}
+
+// NewPipeline assembles a measurement pipeline for numServices services
+// with the given DPI accuracy.
+func NewPipeline(numServices int, accuracy float64, seed int64) (*Pipeline, error) {
+	cl, err := NewClassifier(numServices, accuracy, seed)
+	if err != nil {
+		return nil, err
+	}
+	coll, err := NewCollector(numServices)
+	if err != nil {
+		return nil, err
+	}
+	// Service-specific idle timeouts (§3.2): streaming-class ports get
+	// a longer expiration than short-transaction ones. The synthetic
+	// port plan maps service i to ServicePort(i).
+	timeoutFor := func(t FiveTuple) float64 {
+		svc, ok := cl.portToService[t.DstPort]
+		if !ok {
+			return 0 // defaults
+		}
+		if svc%2 == 0 { // TCP services in the synthetic plan
+			return 300
+		}
+		return 90
+	}
+	return &Pipeline{
+		Classifier: cl,
+		Tracker:    NewTracker(TrackerConfig{TimeoutFor: timeoutFor}),
+		Packetizer: NewPacketizer(seed ^ 0x9acce55),
+		Collector:  coll,
+	}, nil
+}
+
+// PipelineStats summarizes one measurement run.
+type PipelineStats struct {
+	Flows         int // transport-layer flows observed at the gateway
+	Unclassified  int // flows the classifier could not map to a service
+	Unlocatable   int // flows whose UE had no usable signaling history
+	SessionsSplit int // per-BS partial sessions recorded (>= located flows)
+}
+
+// Run processes a UE-level mobility trace end-to-end and fills the
+// pipeline's Collector. Flow i of a UE uses TCP for even service
+// indices and UDP for odd ones, exercising both delimitation paths.
+func (p *Pipeline) Run(trace *netsim.MobilityTrace) (PipelineStats, error) {
+	var stats PipelineStats
+	if trace == nil {
+		return stats, fmt.Errorf("probe: nil mobility trace")
+	}
+
+	// RAN probe: index the signaling stream.
+	events := make([]SignalEvent, 0, len(trace.Events))
+	for _, ev := range trace.Events {
+		se := SignalEvent{Time: ev.Time, UE: ev.UE, BS: ev.BS}
+		switch ev.Type {
+		case netsim.UEAttach:
+			se.Type = EvAttach
+		case netsim.UEHandover:
+			se.Type = EvHandover
+		case netsim.UEDetach:
+			se.Type = EvDetach
+		}
+		events = append(events, se)
+	}
+	locator := NewLocator(events)
+
+	// Gateway probe: packetize every flow and observe the packets in
+	// global time order, as the SGi tap would.
+	var packets []Packet
+	seqPerUE := map[uint64]int{}
+	for _, f := range trace.Flows {
+		seq := seqPerUE[f.UE]
+		seqPerUE[f.UE] = seq + 1
+		proto := TCP
+		if f.Service%2 == 1 {
+			proto = UDP
+		}
+		tuple := TupleForUE(f.UE, f.Service, seq, proto)
+		pkts, err := p.Packetizer.Packetize(FlowSpec{
+			Tuple: tuple, Start: f.Start, Duration: f.Duration, Volume: f.Volume,
+		})
+		if err != nil {
+			return stats, err
+		}
+		packets = append(packets, pkts...)
+	}
+	sort.SliceStable(packets, func(i, j int) bool { return packets[i].Time < packets[j].Time })
+	var lastT float64
+	for _, pkt := range packets {
+		p.Tracker.Observe(pkt)
+		lastT = pkt.Time
+	}
+	p.Tracker.ExpireIdle(lastT + 1e6) // close residual UDP flows
+	records := p.Tracker.Flush()
+	stats.Flows = len(records)
+
+	// Classification, geo-referencing and aggregation.
+	for _, rec := range records {
+		svc, ok := p.Classifier.Classify(rec.Tuple)
+		if !ok {
+			stats.Unclassified++
+			continue
+		}
+		ue := UEOfTuple(rec.Tuple)
+		spans, err := locator.Split(ue, rec.Start, rec.End)
+		if err != nil {
+			stats.Unlocatable++
+			continue
+		}
+		for _, span := range spans {
+			dur := span.End - span.Start
+			if dur <= 0 {
+				dur = 1
+			}
+			vol := float64(rec.Bytes) * span.Fraction
+			if vol <= 0 {
+				continue
+			}
+			day := int(span.Start / 86400)
+			minute := int(span.Start/60) % netsim.MinutesPerDay
+			if minute < 0 {
+				minute = 0
+			}
+			err := p.Collector.Observe(netsim.Session{
+				Service:   svc,
+				BS:        span.BS,
+				Day:       day,
+				Minute:    minute,
+				Start:     math.Mod(span.Start, 86400),
+				Duration:  dur,
+				Volume:    vol,
+				Truncated: len(spans) > 1,
+			})
+			if err != nil {
+				return stats, err
+			}
+			stats.SessionsSplit++
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,290 @@
+package probe
+
+import (
+	"math"
+	"testing"
+
+	"mobiletraffic/internal/netsim"
+)
+
+func TestPacketizeConservesVolumeAndTiming(t *testing.T) {
+	p := NewPacketizer(1)
+	f := FlowSpec{Tuple: tcpTuple(443), Start: 100, Duration: 30, Volume: 50000}
+	pkts, err := p.Packetize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 2 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	var total int
+	for i, pkt := range pkts {
+		total += pkt.Size
+		if i > 0 && pkt.Time < pkts[i-1].Time {
+			t.Fatal("packets out of order")
+		}
+	}
+	if float64(total) != f.Volume {
+		t.Errorf("total bytes = %d, want %v", total, f.Volume)
+	}
+	if pkts[0].Time != 100 || !pkts[0].SYN {
+		t.Errorf("first packet = %+v", pkts[0])
+	}
+	last := pkts[len(pkts)-1]
+	if last.Time != 130 || !last.FIN {
+		t.Errorf("last packet = %+v", last)
+	}
+}
+
+func TestPacketizeUDPNoFlags(t *testing.T) {
+	p := NewPacketizer(2)
+	pkts, err := p.Packetize(FlowSpec{Tuple: udpTuple(53), Start: 0, Duration: 5, Volume: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkt := range pkts {
+		if pkt.SYN || pkt.FIN || pkt.RST {
+			t.Fatalf("UDP packet carries TCP flags: %+v", pkt)
+		}
+	}
+}
+
+func TestPacketizeCapsPacketCount(t *testing.T) {
+	p := NewPacketizer(3)
+	pkts, err := p.Packetize(FlowSpec{Tuple: tcpTuple(1), Start: 0, Duration: 100, Volume: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != p.MaxPackets {
+		t.Errorf("packets = %d, want cap %d", len(pkts), p.MaxPackets)
+	}
+	var total float64
+	for _, pkt := range pkts {
+		total += float64(pkt.Size)
+	}
+	if math.Abs(total-1e9) > 1 {
+		t.Errorf("capped packetization lost bytes: %v", total)
+	}
+}
+
+func TestPacketizeValidation(t *testing.T) {
+	p := NewPacketizer(4)
+	if _, err := p.Packetize(FlowSpec{Volume: 0, Duration: 1}); err == nil {
+		t.Error("zero volume must error")
+	}
+	if _, err := p.Packetize(FlowSpec{Volume: 1, Duration: -1}); err == nil {
+		t.Error("negative duration must error")
+	}
+	// Zero-duration flows are legal (single burst).
+	pkts, err := p.Packetize(FlowSpec{Tuple: tcpTuple(2), Volume: 100, Duration: 0})
+	if err != nil || len(pkts) < 2 {
+		t.Errorf("zero-duration flow: %v, %d packets", err, len(pkts))
+	}
+}
+
+func TestTupleForUEStable(t *testing.T) {
+	a := TupleForUE(42, 3, 0, TCP)
+	b := TupleForUE(42, 3, 0, TCP)
+	if a != b {
+		t.Error("tuple derivation not deterministic")
+	}
+	if UEOfTuple(a) != 42 {
+		t.Errorf("UEOfTuple = %d", UEOfTuple(a))
+	}
+	if a.DstPort != ServicePort(3) {
+		t.Errorf("dst port = %d", a.DstPort)
+	}
+	// Distinct flows of the same UE get distinct tuples.
+	c := TupleForUE(42, 3, 1, TCP)
+	if a == c {
+		t.Error("sequence number must differentiate tuples")
+	}
+}
+
+// newMobilityFixture builds a small topology+simulator and runs the
+// UE-level mobility simulation.
+func newMobilityFixture(t *testing.T, cfg netsim.MobilityConfig) (*netsim.Simulator, *netsim.MobilityTrace) {
+	t.Helper()
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := sim.SimulateMobility(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, trace
+}
+
+func TestMeasurementPipelineEndToEnd(t *testing.T) {
+	sim, trace := newMobilityFixture(t, netsim.MobilityConfig{
+		UEs: 300, Horizon: 3600, Seed: 9,
+	})
+	if len(trace.Events) == 0 || len(trace.Flows) == 0 {
+		t.Fatal("empty mobility trace")
+	}
+	pipe, err := NewPipeline(len(sim.Services), 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pipe.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Flows == 0 {
+		t.Fatal("no flows tracked")
+	}
+	if stats.Unclassified != 0 {
+		t.Errorf("unclassified = %d with a perfect classifier", stats.Unclassified)
+	}
+	// Handover splitting produces at least as many partial sessions as
+	// located flows.
+	located := stats.Flows - stats.Unlocatable
+	if stats.SessionsSplit < located {
+		t.Errorf("sessions %d < located flows %d", stats.SessionsSplit, located)
+	}
+	if stats.SessionsSplit == located {
+		t.Error("no handover ever split a flow; mobility not exercised")
+	}
+	// The collector's measured session shares must track the catalog:
+	// Facebook is the heaviest service.
+	share, _, err := pipe.Collector.SessionShare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range share {
+		if share[i] > share[best] {
+			best = i
+		}
+	}
+	if sim.Services[best].Name != "Facebook" {
+		t.Errorf("heaviest measured service = %s, want Facebook", sim.Services[best].Name)
+	}
+	// Volume is conserved: the aggregated traffic equals the flow bytes
+	// of located flows within packetization rounding.
+	var flowBytes float64
+	for _, f := range trace.Flows {
+		flowBytes += f.Volume
+	}
+	var measured float64
+	for _, key := range pipe.Collector.Keys() {
+		st, _ := pipe.Collector.Get(key)
+		for i := range st.DurVolSum {
+			measured += st.DurVolSum[i]
+		}
+	}
+	if stats.Unlocatable == 0 && math.Abs(measured-flowBytes)/flowBytes > 0.02 {
+		t.Errorf("measured %.3g vs generated %.3g bytes", measured, flowBytes)
+	}
+}
+
+func TestMeasurementPipelineClassifierErrors(t *testing.T) {
+	sim, trace := newMobilityFixture(t, netsim.MobilityConfig{
+		UEs: 200, Horizon: 1800, StationaryFrac: 1, Seed: 13,
+	})
+	perfect, err := NewPipeline(len(sim.Services), 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := perfect.Run(trace); err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NewPipeline(len(sim.Services), 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noisy.Run(trace); err != nil {
+		t.Fatal(err)
+	}
+	sp, _, err := perfect.Collector.SessionShare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, _, err := noisy.Collector.SessionShare(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 50%-accurate classifier flattens the share distribution: the
+	// top service's share shrinks visibly.
+	top := 0
+	for i := range sp {
+		if sp[i] > sp[top] {
+			top = i
+		}
+	}
+	if sn[top] >= sp[top]-0.05 {
+		t.Errorf("noisy classifier did not flatten shares: %.3f vs %.3f", sn[top], sp[top])
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(0, 1, 1); err == nil {
+		t.Error("zero services must error")
+	}
+	p, err := NewPipeline(3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil); err == nil {
+		t.Error("nil trace must error")
+	}
+}
+
+func TestSimulateMobilityShape(t *testing.T) {
+	sim, trace := newMobilityFixture(t, netsim.MobilityConfig{
+		UEs: 50, Horizon: 1200, StationaryFrac: 0.5, Seed: 3,
+	})
+	_ = sim
+	// Every UE attaches exactly once; handovers only from mobile UEs.
+	attach := map[uint64]int{}
+	for _, ev := range trace.Events {
+		if ev.Type == netsim.UEAttach {
+			attach[ev.UE]++
+		}
+	}
+	if len(attach) != 50 {
+		t.Errorf("attached UEs = %d", len(attach))
+	}
+	for ue, n := range attach {
+		if n != 1 {
+			t.Errorf("UE %d attached %d times", ue, n)
+		}
+	}
+	// Events and flows are time-sorted within the horizon.
+	for i := 1; i < len(trace.Events); i++ {
+		if trace.Events[i].Time < trace.Events[i-1].Time {
+			t.Fatal("events unsorted")
+		}
+	}
+	for _, f := range trace.Flows {
+		if f.Start < 0 || f.Start+f.Duration > 1200+1e-9 {
+			t.Fatalf("flow outside horizon: %+v", f)
+		}
+		if f.Volume <= 0 {
+			t.Fatalf("non-positive flow volume: %+v", f)
+		}
+	}
+}
+
+func TestSimulateMobilityValidation(t *testing.T) {
+	topo := &netsim.Topology{BSs: []netsim.BS{{ID: 0}}}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.SimulateMobility(netsim.MobilityConfig{}); err == nil {
+		t.Error("single-BS mobility must error")
+	}
+}
+
+func TestUEEventTypeString(t *testing.T) {
+	if netsim.UEAttach.String() != "attach" || netsim.UEHandover.String() != "handover" ||
+		netsim.UEDetach.String() != "detach" {
+		t.Error("UE event type strings")
+	}
+}

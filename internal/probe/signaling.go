@@ -1,0 +1,138 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventType enumerates the signaling events the RAN probes observe on
+// the S1-MME interface (§3.1): attachment, handover between BSs, and
+// detachment.
+type EventType int
+
+// Signaling event types.
+const (
+	EvAttach EventType = iota
+	EvHandover
+	EvDetach
+)
+
+// String implements fmt.Stringer.
+func (e EventType) String() string {
+	switch e {
+	case EvAttach:
+		return "attach"
+	case EvHandover:
+		return "handover"
+	default:
+		return "detach"
+	}
+}
+
+// SignalEvent is one control-plane observation: the UE was associated
+// with BS starting at Time.
+type SignalEvent struct {
+	Time float64
+	UE   uint64
+	BS   int
+	Type EventType
+}
+
+// Locator indexes signaling events so that any (UE, time) can be mapped
+// to the serving BS — the geo-referencing step that overcomes the stale
+// location identifiers at the PGW (§3.1).
+type Locator struct {
+	byUE map[uint64][]SignalEvent
+}
+
+// NewLocator builds a locator from signaling events (any order).
+func NewLocator(events []SignalEvent) *Locator {
+	l := &Locator{byUE: make(map[uint64][]SignalEvent)}
+	for _, ev := range events {
+		l.byUE[ev.UE] = append(l.byUE[ev.UE], ev)
+	}
+	for ue := range l.byUE {
+		evs := l.byUE[ue]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Time < evs[j].Time })
+	}
+	return l
+}
+
+// Locate returns the BS serving the UE at time t, or an error when the
+// UE is unknown, not yet attached, or already detached.
+func (l *Locator) Locate(ue uint64, t float64) (int, error) {
+	evs, ok := l.byUE[ue]
+	if !ok {
+		return 0, fmt.Errorf("probe: unknown UE %d", ue)
+	}
+	// Last event with Time <= t.
+	i := sort.Search(len(evs), func(k int) bool { return evs[k].Time > t }) - 1
+	if i < 0 {
+		return 0, fmt.Errorf("probe: UE %d not attached at t=%v", ue, t)
+	}
+	if evs[i].Type == EvDetach {
+		return 0, fmt.Errorf("probe: UE %d detached at t=%v", ue, evs[i].Time)
+	}
+	return evs[i].BS, nil
+}
+
+// BSSpan is a contiguous interval of a flow served by one BS.
+type BSSpan struct {
+	BS         int
+	Start, End float64
+	// Fraction is the share of the flow's bytes attributed to this BS,
+	// pro-rated on served time (the "correct (fraction of) sessions"
+	// assignment of §3.1).
+	Fraction float64
+}
+
+// Split divides the flow interval [start, end] of the given UE into
+// per-BS spans using the signaling history: each handover inside the
+// interval cuts the session, so that the measurement dataset records a
+// partial session per visited BS (§3.2: handovers appear as newly
+// established / concluded transport-layer sessions).
+func (l *Locator) Split(ue uint64, start, end float64) ([]BSSpan, error) {
+	if end < start {
+		return nil, fmt.Errorf("probe: flow interval end %v before start %v", end, start)
+	}
+	evs, ok := l.byUE[ue]
+	if !ok {
+		return nil, fmt.Errorf("probe: unknown UE %d", ue)
+	}
+	bs, err := l.Locate(ue, start)
+	if err != nil {
+		return nil, err
+	}
+	total := end - start
+	var spans []BSSpan
+	cur := BSSpan{BS: bs, Start: start}
+	for _, ev := range evs {
+		if ev.Time <= start || ev.Time > end {
+			continue
+		}
+		switch ev.Type {
+		case EvHandover, EvAttach:
+			if ev.BS != cur.BS {
+				cur.End = ev.Time
+				spans = append(spans, cur)
+				cur = BSSpan{BS: ev.BS, Start: ev.Time}
+			}
+		case EvDetach:
+			cur.End = ev.Time
+			spans = append(spans, cur)
+			cur = BSSpan{BS: -1}
+		}
+	}
+	if cur.BS >= 0 {
+		cur.End = end
+		spans = append(spans, cur)
+	}
+	for i := range spans {
+		if total > 0 {
+			spans[i].Fraction = (spans[i].End - spans[i].Start) / total
+		} else {
+			spans[i].Fraction = 1.0 / float64(len(spans))
+		}
+	}
+	return spans, nil
+}

@@ -1,0 +1,175 @@
+package probe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLocatorLocate(t *testing.T) {
+	l := NewLocator([]SignalEvent{
+		{Time: 100, UE: 1, BS: 5, Type: EvAttach},
+		{Time: 200, UE: 1, BS: 7, Type: EvHandover},
+		{Time: 300, UE: 1, Type: EvDetach},
+		{Time: 50, UE: 2, BS: 9, Type: EvAttach},
+	})
+	cases := []struct {
+		ue      uint64
+		t       float64
+		want    int
+		wantErr bool
+	}{
+		{1, 150, 5, false},
+		{1, 200, 7, false},
+		{1, 250, 7, false},
+		{1, 99, 0, true},  // before attach
+		{1, 350, 0, true}, // after detach
+		{2, 1000, 9, false},
+		{3, 100, 0, true}, // unknown UE
+	}
+	for _, tc := range cases {
+		got, err := l.Locate(tc.ue, tc.t)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("Locate(%d, %v) err = %v, wantErr %v", tc.ue, tc.t, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("Locate(%d, %v) = %d, want %d", tc.ue, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestLocatorSplitAcrossHandover(t *testing.T) {
+	l := NewLocator([]SignalEvent{
+		{Time: 0, UE: 1, BS: 3, Type: EvAttach},
+		{Time: 60, UE: 1, BS: 4, Type: EvHandover},
+	})
+	spans, err := l.Split(1, 30, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].BS != 3 || spans[0].Start != 30 || spans[0].End != 60 {
+		t.Errorf("first span = %+v", spans[0])
+	}
+	if spans[1].BS != 4 || spans[1].Start != 60 || spans[1].End != 90 {
+		t.Errorf("second span = %+v", spans[1])
+	}
+	// Byte fractions pro-rated on time: 50/50.
+	if math.Abs(spans[0].Fraction-0.5) > 1e-12 || math.Abs(spans[1].Fraction-0.5) > 1e-12 {
+		t.Errorf("fractions = %v, %v", spans[0].Fraction, spans[1].Fraction)
+	}
+}
+
+func TestLocatorSplitSingleBS(t *testing.T) {
+	l := NewLocator([]SignalEvent{{Time: 0, UE: 7, BS: 2, Type: EvAttach}})
+	spans, err := l.Split(7, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].BS != 2 || spans[0].Fraction != 1 {
+		t.Errorf("spans = %+v", spans)
+	}
+}
+
+func TestLocatorSplitWithDetach(t *testing.T) {
+	l := NewLocator([]SignalEvent{
+		{Time: 0, UE: 1, BS: 1, Type: EvAttach},
+		{Time: 50, UE: 1, Type: EvDetach},
+	})
+	spans, err := l.Split(1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the attached portion is attributed.
+	if len(spans) != 1 || spans[0].End != 50 {
+		t.Errorf("spans = %+v", spans)
+	}
+	if math.Abs(spans[0].Fraction-0.5) > 1e-12 {
+		t.Errorf("fraction = %v", spans[0].Fraction)
+	}
+}
+
+func TestLocatorSplitValidation(t *testing.T) {
+	l := NewLocator(nil)
+	if _, err := l.Split(1, 0, 10); err == nil {
+		t.Error("unknown UE must error")
+	}
+	l = NewLocator([]SignalEvent{{Time: 0, UE: 1, BS: 1, Type: EvAttach}})
+	if _, err := l.Split(1, 10, 5); err == nil {
+		t.Error("inverted interval must error")
+	}
+	if _, err := l.Split(1, -10, -5); err == nil {
+		t.Error("pre-attach interval must error")
+	}
+}
+
+func TestLocatorZeroLengthFlow(t *testing.T) {
+	l := NewLocator([]SignalEvent{{Time: 0, UE: 1, BS: 4, Type: EvAttach}})
+	spans, err := l.Split(1, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Fraction != 1 {
+		t.Errorf("zero-length spans = %+v", spans)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EvAttach.String() != "attach" || EvHandover.String() != "handover" || EvDetach.String() != "detach" {
+		t.Error("event type strings")
+	}
+}
+
+func TestClassifierPerfect(t *testing.T) {
+	c, err := NewClassifier(10, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		svc, ok := c.Classify(FiveTuple{Proto: TCP, DstPort: ServicePort(i)})
+		if !ok || svc != i {
+			t.Errorf("Classify(port %d) = %d, %v", ServicePort(i), svc, ok)
+		}
+	}
+	if _, ok := c.Classify(FiveTuple{DstPort: 80}); ok {
+		t.Error("unknown port must not classify")
+	}
+}
+
+func TestClassifierAccuracy(t *testing.T) {
+	c, err := NewClassifier(10, 0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	correct := 0
+	for i := 0; i < n; i++ {
+		svc, ok := c.Classify(FiveTuple{DstPort: ServicePort(3)})
+		if !ok {
+			t.Fatal("classification failed")
+		}
+		if svc == 3 {
+			correct++
+		}
+	}
+	frac := float64(correct) / n
+	if math.Abs(frac-0.8) > 0.02 {
+		t.Errorf("accuracy = %v, want ~0.8", frac)
+	}
+}
+
+func TestClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(0, 1, 1); err == nil {
+		t.Error("zero services must error")
+	}
+	// Out-of-range accuracy falls back to perfect.
+	c, err := NewClassifier(3, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Accuracy != 1 {
+		t.Errorf("accuracy = %v, want 1", c.Accuracy)
+	}
+}

@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopK is a Space-Saving heavy-hitter sketch: it tracks the (approximately)
+// k most frequent keys of a stream using O(k) memory with deterministic
+// overestimation bounds. The gateway probe uses it to maintain the
+// live service popularity ranking (the Fig. 4 view) without keeping
+// exact per-service counters for every flow at line rate.
+//
+// Guarantees (Metwally et al.): every key with true count > N/k is in
+// the sketch, and each reported count overestimates the true count by
+// at most the smallest tracked count.
+type TopK struct {
+	k      int
+	counts map[int]uint64 // key -> estimated count
+	errs   map[int]uint64 // key -> max overestimation
+	n      uint64
+}
+
+// NewTopK creates a sketch tracking up to k keys (k >= 1).
+func NewTopK(k int) (*TopK, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("probe: TopK needs k >= 1, got %d", k)
+	}
+	return &TopK{
+		k:      k,
+		counts: make(map[int]uint64, k),
+		errs:   make(map[int]uint64, k),
+	}, nil
+}
+
+// Observe feeds one key occurrence.
+func (t *TopK) Observe(key int) {
+	t.n++
+	if _, ok := t.counts[key]; ok {
+		t.counts[key]++
+		return
+	}
+	if len(t.counts) < t.k {
+		t.counts[key] = 1
+		t.errs[key] = 0
+		return
+	}
+	// Evict the minimum and inherit its count (+1) with its count as
+	// the overestimation bound.
+	minKey, minCount := 0, uint64(0)
+	first := true
+	for k2, c := range t.counts {
+		if first || c < minCount {
+			minKey, minCount, first = k2, c, false
+		}
+	}
+	delete(t.counts, minKey)
+	delete(t.errs, minKey)
+	t.counts[key] = minCount + 1
+	t.errs[key] = minCount
+}
+
+// N returns the number of observations so far.
+func (t *TopK) N() uint64 { return t.n }
+
+// Entry is one sketch result.
+type Entry struct {
+	Key      int
+	Count    uint64 // estimated count (may overestimate)
+	MaxError uint64 // overestimation bound: true count >= Count - MaxError
+}
+
+// Top returns the tracked keys sorted by descending estimated count.
+func (t *TopK) Top() []Entry {
+	out := make([]Entry, 0, len(t.counts))
+	for k, c := range t.counts {
+		out = append(out, Entry{Key: k, Count: c, MaxError: t.errs[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// GuaranteedTop returns the keys whose rank is certain: entries whose
+// guaranteed count (Count - MaxError) is at least the estimated count
+// of the next entry.
+func (t *TopK) GuaranteedTop() []Entry {
+	top := t.Top()
+	var out []Entry
+	for i, e := range top {
+		if i+1 < len(top) && e.Count-e.MaxError < top[i+1].Count {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKExactWhenUnderCapacity(t *testing.T) {
+	tk, err := NewTopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := []int{1, 1, 1, 2, 2, 3}
+	for _, k := range stream {
+		tk.Observe(k)
+	}
+	top := tk.Top()
+	if len(top) != 3 {
+		t.Fatalf("entries = %d", len(top))
+	}
+	if top[0].Key != 1 || top[0].Count != 3 || top[0].MaxError != 0 {
+		t.Errorf("top entry = %+v", top[0])
+	}
+	if tk.N() != 6 {
+		t.Errorf("N = %d", tk.N())
+	}
+}
+
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	// A zipf-ish stream: key i appears proportionally to 1/(i+1).
+	rng := rand.New(rand.NewSource(4))
+	tk, err := NewTopK(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[int]uint64{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		// Heavy skew: 50% key 0, 25% key 1, ...
+		key := 0
+		for rng.Float64() < 0.5 && key < 20 {
+			key++
+		}
+		tk.Observe(key)
+		truth[key]++
+	}
+	top := tk.Top()
+	// Space-Saving guarantee: every key with count > N/k is tracked.
+	threshold := uint64(n / 8)
+	tracked := map[int]bool{}
+	for _, e := range top {
+		tracked[e.Key] = true
+	}
+	for key, c := range truth {
+		if c > threshold && !tracked[key] {
+			t.Errorf("heavy hitter %d (count %d) not tracked", key, c)
+		}
+	}
+	// Counts never underestimate beyond the error bound.
+	for _, e := range top {
+		if e.Count < truth[e.Key] {
+			t.Errorf("key %d: estimate %d below truth %d", e.Key, e.Count, truth[e.Key])
+		}
+		if e.Count-e.MaxError > truth[e.Key] {
+			t.Errorf("key %d: guaranteed count %d above truth %d", e.Key, e.Count-e.MaxError, truth[e.Key])
+		}
+	}
+	// The top two keys must be 0 and 1 in order.
+	if top[0].Key != 0 || top[1].Key != 1 {
+		t.Errorf("ranking = %d, %d", top[0].Key, top[1].Key)
+	}
+	// GuaranteedTop is a prefix of Top.
+	g := tk.GuaranteedTop()
+	for i, e := range g {
+		if e.Key != top[i].Key {
+			t.Errorf("guaranteed prefix mismatch at %d", i)
+		}
+	}
+	if len(g) == 0 {
+		t.Error("no guaranteed entries on a heavily skewed stream")
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	if _, err := NewTopK(0); err == nil {
+		t.Error("k=0 must error")
+	}
+}
+
+// Property: the sketch never tracks more than k keys, total estimated
+// count stays within [N, N + evictions*minCount] bounds, and estimates
+// always dominate true counts.
+func TestTopKOverestimationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(8)
+		tk, err := NewTopK(k)
+		if err != nil {
+			return false
+		}
+		truth := map[int]uint64{}
+		n := 100 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			key := rng.Intn(25)
+			tk.Observe(key)
+			truth[key]++
+		}
+		top := tk.Top()
+		if len(top) > k {
+			return false
+		}
+		for _, e := range top {
+			if e.Count < truth[e.Key] {
+				return false // must never underestimate
+			}
+			if e.Count-e.MaxError > truth[e.Key] {
+				return false // guaranteed floor must hold
+			}
+		}
+		return tk.N() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

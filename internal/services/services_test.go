@@ -1,0 +1,262 @@
+package services
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiletraffic/internal/mathx"
+)
+
+func TestCatalogSize(t *testing.T) {
+	if got := len(All()); got != 31 {
+		t.Errorf("catalog size = %d, want 31 (paper §5.4)", got)
+	}
+	if got := len(Table1()); got != 28 {
+		t.Errorf("Table 1 services = %d, want 28", got)
+	}
+}
+
+func TestCatalogOrderedByShare(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i].SessionSharePct > all[i-1].SessionSharePct {
+			t.Errorf("catalog not sorted at %d: %s (%.2f) after %s (%.2f)",
+				i, all[i].Name, all[i].SessionSharePct, all[i-1].Name, all[i-1].SessionSharePct)
+		}
+	}
+	if all[0].Name != "Facebook" {
+		t.Errorf("top service = %s, want Facebook", all[0].Name)
+	}
+}
+
+func TestTable1HeadlineValues(t *testing.T) {
+	// Spot-check shares against paper Table 1.
+	want := map[string][2]float64{
+		"Facebook":   {36.52, 32.53},
+		"Instagram":  {20.52, 31.48},
+		"Netflix":    {2.40, 11.10},
+		"Twitch":     {0.91, 3.67},
+		"Pokemon GO": {0.04, 0.01},
+	}
+	for name, shares := range want {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SessionSharePct != shares[0] || p.TrafficSharePct != shares[1] {
+			t.Errorf("%s shares = (%.2f, %.2f), want (%.2f, %.2f)",
+				name, p.SessionSharePct, p.TrafficSharePct, shares[0], shares[1])
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("DoesNotExist"); err == nil {
+		t.Error("unknown service must error")
+	}
+}
+
+func TestClassAssignments(t *testing.T) {
+	// The paper's dichotomy: streaming services have super-linear beta,
+	// interactive ones sub-linear (Fig. 10).
+	for _, p := range All() {
+		switch p.Class {
+		case Streaming:
+			if p.Beta < 0.9 {
+				t.Errorf("%s: streaming service with beta %.2f", p.Name, p.Beta)
+			}
+		case Interactive:
+			if p.Beta >= 1 {
+				t.Errorf("%s: interactive service with beta %.2f", p.Name, p.Beta)
+			}
+		}
+		if p.Beta < 0.1 || p.Beta > 1.8 {
+			t.Errorf("%s: beta %.2f outside the paper's observed [0.1, 1.8]", p.Name, p.Beta)
+		}
+	}
+	streaming := 0
+	for _, p := range All() {
+		if p.Class == Streaming {
+			streaming++
+		}
+	}
+	if streaming < 5 {
+		t.Errorf("only %d streaming services", streaming)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Streaming.String() != "streaming" || Interactive.String() != "interactive" ||
+		Outlier.String() != "outlier" {
+		t.Error("Class.String mismatch")
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Error("unknown class string")
+	}
+}
+
+func TestPeakCountCap(t *testing.T) {
+	// §5.2 caps residual components at 3 per service.
+	for _, p := range All() {
+		if len(p.Peaks) > 3 {
+			t.Errorf("%s has %d peaks, want <= 3", p.Name, len(p.Peaks))
+		}
+		for _, pk := range p.Peaks {
+			if pk.Weight <= 0 || pk.Sigma <= 0 {
+				t.Errorf("%s: invalid peak %+v", p.Name, pk)
+			}
+		}
+	}
+}
+
+func TestAlphaAnchoring(t *testing.T) {
+	for _, p := range All() {
+		// v(TypDuration) must equal the typical volume 10^MainMu.
+		v := p.MeanVolume(p.TypDuration)
+		if math.Abs(v-math.Pow(10, p.MainMu))/math.Pow(10, p.MainMu) > 1e-9 {
+			t.Errorf("%s: MeanVolume(TypDuration) = %v, want %v", p.Name, v, math.Pow(10, p.MainMu))
+		}
+		// DurationFor inverts MeanVolume.
+		d := p.DurationFor(v)
+		if math.Abs(d-p.TypDuration)/p.TypDuration > 1e-9 {
+			t.Errorf("%s: DurationFor(MeanVolume) = %v, want %v", p.Name, d, p.TypDuration)
+		}
+	}
+	p := All()[0]
+	if !math.IsNaN(p.DurationFor(-1)) {
+		t.Error("DurationFor of negative volume must be NaN")
+	}
+}
+
+func TestNetflixGroundTruthMatchesPaperNarrative(t *testing.T) {
+	p, err := ByName("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.2: clear mode around 40 MB (log10 ≈ 7.6), probability drop
+	// after ~200 MB (log10 ≈ 8.3).
+	if len(p.Peaks) != 2 {
+		t.Fatalf("Netflix peaks = %d, want 2", len(p.Peaks))
+	}
+	if math.Abs(p.Peaks[0].Mu-7.6) > 0.01 {
+		t.Errorf("Netflix first peak at 10^%.2f bytes, want ~40 MB (10^7.6)", p.Peaks[0].Mu)
+	}
+	if p.Beta <= 1 {
+		t.Errorf("Netflix beta = %.2f, want super-linear", p.Beta)
+	}
+}
+
+func TestSampleVolumeMatchesGroundTruthPDF(t *testing.T) {
+	p, err := ByName("Deezer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	const n = 200000
+	logs := make([]float64, n)
+	for i := range logs {
+		logs[i] = math.Log10(p.SampleVolume(rng))
+	}
+	// The empirical log-volume mean must match the mixture mean
+	// (main component has weight 1).
+	total := 1.0
+	mix := p.MainMu
+	for _, pk := range p.Peaks {
+		total += pk.Weight
+		mix += pk.Weight * pk.Mu
+	}
+	mix /= total
+	got := mathx.Mean(logs)
+	if math.Abs(got-mix) > 0.02 {
+		t.Errorf("sample log-volume mean = %v, want %v", got, mix)
+	}
+}
+
+func TestSampleDurationRespectsPowerLaw(t *testing.T) {
+	p, err := ByName("Twitch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	vol := 20e6 // 20 MB, the Twitch mode
+	const n = 50000
+	logs := make([]float64, n)
+	for i := range logs {
+		logs[i] = math.Log10(p.SampleDuration(vol, rng))
+	}
+	want := math.Log10(p.DurationFor(vol))
+	if math.Abs(mathx.Mean(logs)-want) > 0.02 {
+		t.Errorf("mean log duration = %v, want %v", mathx.Mean(logs), want)
+	}
+	if math.Abs(mathx.Std(logs)-p.DurationNoise) > 0.02 {
+		t.Errorf("log duration std = %v, want %v", mathx.Std(logs), p.DurationNoise)
+	}
+	// Durations are floored at 1 s.
+	if d := p.SampleDuration(1e-9, rng); d < 1 {
+		t.Errorf("duration %v below 1 s floor", d)
+	}
+}
+
+func TestVolumeLogPDFIntegratesToOne(t *testing.T) {
+	for _, name := range []string{"Netflix", "Facebook", "Apple iCloud"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		us := mathx.LinSpace(0, 12, 4801)
+		ys := make([]float64, len(us))
+		for i, u := range us {
+			ys[i] = p.VolumeLogPDF(u)
+		}
+		if got := mathx.Trapezoid(us, ys); math.Abs(got-1) > 1e-3 {
+			t.Errorf("%s: log-PDF integral = %v", name, got)
+		}
+	}
+}
+
+func TestSessionShareProbs(t *testing.T) {
+	profiles, probs := SessionShareProbs()
+	if len(profiles) != len(probs) {
+		t.Fatal("length mismatch")
+	}
+	if math.Abs(mathx.Sum(probs)-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", mathx.Sum(probs))
+	}
+	// Probabilities follow the catalog order (descending share).
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[i-1] {
+			t.Errorf("probs not descending at %d", i)
+		}
+	}
+}
+
+func TestPickServiceDistribution(t *testing.T) {
+	profiles, probs := SessionShareProbs()
+	rng := rand.New(rand.NewSource(10))
+	counts := make([]int, len(probs))
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[PickService(probs, rng)]++
+	}
+	// The heaviest services must match their probabilities closely.
+	for i := 0; i < 5; i++ {
+		got := float64(counts[i]) / n
+		if math.Abs(got-probs[i]) > 0.005 {
+			t.Errorf("%s: empirical share %v, want %v", profiles[i].Name, got, probs[i])
+		}
+	}
+}
+
+func TestNamesMatchesAll(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(names) != len(all) {
+		t.Fatal("length mismatch")
+	}
+	for i := range names {
+		if names[i] != all[i].Name {
+			t.Errorf("Names[%d] = %s, want %s", i, names[i], all[i].Name)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package trace reads and writes session-level traffic traces: one
+// record per transport-layer session with its establishment time,
+// service, traffic volume, duration and mean throughput. Two formats
+// are supported — CSV with a fixed header, and newline-delimited JSON —
+// both round-trip safe. The format is the interchange surface between
+// the generator tools (cmd/sessiongen, examples/tracegen) and external
+// consumers such as network simulators.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Record is one session in a trace.
+type Record struct {
+	TimeS      float64 `json:"time_s"`         // establishment time, seconds from trace origin
+	Service    string  `json:"service"`        // service name
+	Bytes      float64 `json:"bytes"`          // session traffic volume
+	DurationS  float64 `json:"duration_s"`     // session duration
+	Throughput float64 `json:"throughput_Bps"` // mean throughput, bytes/second
+}
+
+// Validate checks the record's internal consistency.
+func (r *Record) Validate() error {
+	if r.Service == "" {
+		return errors.New("trace: empty service name")
+	}
+	if r.TimeS < 0 || r.Bytes <= 0 || r.DurationS <= 0 {
+		return fmt.Errorf("trace: invalid record (t=%v bytes=%v dur=%v)", r.TimeS, r.Bytes, r.DurationS)
+	}
+	return nil
+}
+
+// Header is the CSV column header.
+var Header = []string{"time_s", "service", "bytes", "duration_s", "throughput_Bps"}
+
+// Format selects the trace encoding.
+type Format int
+
+// Supported encodings.
+const (
+	CSV Format = iota
+	JSONLines
+)
+
+// ParseFormat maps "csv" / "json" to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "csv":
+		return CSV, nil
+	case "json", "jsonl":
+		return JSONLines, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown format %q (want csv or json)", s)
+	}
+}
+
+// Writer streams records to an output.
+type Writer struct {
+	format Format
+	csvw   *csv.Writer
+	jsonw  *json.Encoder
+	wrote  int
+	buf    *bufio.Writer
+}
+
+// NewWriter creates a trace writer; for CSV it emits the header
+// immediately.
+func NewWriter(w io.Writer, format Format) (*Writer, error) {
+	buf := bufio.NewWriter(w)
+	out := &Writer{format: format, buf: buf}
+	switch format {
+	case CSV:
+		out.csvw = csv.NewWriter(buf)
+		if err := out.csvw.Write(Header); err != nil {
+			return nil, err
+		}
+	case JSONLines:
+		out.jsonw = json.NewEncoder(buf)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %d", format)
+	}
+	return out, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	w.wrote++
+	switch w.format {
+	case CSV:
+		return w.csvw.Write([]string{
+			strconv.FormatFloat(r.TimeS, 'f', 3, 64),
+			r.Service,
+			strconv.FormatFloat(r.Bytes, 'f', 0, 64),
+			strconv.FormatFloat(r.DurationS, 'f', 3, 64),
+			strconv.FormatFloat(r.Throughput, 'f', 3, 64),
+		})
+	default:
+		return w.jsonw.Encode(r)
+	}
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() int { return w.wrote }
+
+// Flush drains buffered output; call it before closing the underlying
+// writer.
+func (w *Writer) Flush() error {
+	if w.csvw != nil {
+		w.csvw.Flush()
+		if err := w.csvw.Error(); err != nil {
+			return err
+		}
+	}
+	return w.buf.Flush()
+}
+
+// Read parses a whole trace from r, auto-detecting the format from the
+// first byte ('{' selects JSON lines, anything else CSV).
+func Read(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if first[0] == '{' {
+		return readJSON(br)
+	}
+	return readCSV(br)
+}
+
+func readJSON(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("trace: json record %d: %w", len(out)+1, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: json record %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func readCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(Header)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	start := 0
+	if rows[0][0] == Header[0] {
+		start = 1 // skip header
+	}
+	out := make([]Record, 0, len(rows)-start)
+	for i := start; i < len(rows); i++ {
+		row := rows[i]
+		rec := Record{Service: row[1]}
+		fields := []struct {
+			idx int
+			dst *float64
+		}{
+			{0, &rec.TimeS}, {2, &rec.Bytes}, {3, &rec.DurationS}, {4, &rec.Throughput},
+		}
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(row[f.idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: csv row %d column %d: %w", i+1, f.idx+1, err)
+			}
+			*f.dst = v
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: csv row %d: %w", i+1, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Summary condenses a trace for reporting.
+type Summary struct {
+	Sessions   int
+	TotalBytes float64
+	Services   map[string]int
+	SpanS      float64 // time of last establishment
+}
+
+// Summarize computes aggregate statistics of a trace.
+func Summarize(records []Record) Summary {
+	s := Summary{Services: map[string]int{}}
+	for _, r := range records {
+		s.Sessions++
+		s.TotalBytes += r.Bytes
+		s.Services[r.Service]++
+		if r.TimeS > s.SpanS {
+			s.SpanS = r.TimeS
+		}
+	}
+	return s
+}

@@ -1,0 +1,161 @@
+package vran
+
+import (
+	"math"
+	"sort"
+)
+
+// Alternative packing heuristics and bounds. The paper's orchestrator
+// is a bin-packing heuristic ([18], Johnson's near-optimal algorithms);
+// first-fit decreasing is the default (Pack). Best-fit decreasing and
+// the capacity lower bound let tests verify the heuristic's quality and
+// let ablations quantify the orchestration policy's impact on energy.
+
+// PackBestFit assigns DU loads to PSs with the best-fit-decreasing
+// heuristic: each load goes to the active server it fills tightest.
+func PackBestFit(ps PSModel, duLoads []float64) PackResult {
+	loads := clampLoads(ps, duLoads)
+	sort.Sort(sort.Reverse(sort.Float64Slice(loads)))
+	var bins []float64
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		best, bestSlack := -1, math.Inf(1)
+		for i := range bins {
+			slack := ps.CapacityMbps - bins[i] - l
+			if slack >= 0 && slack < bestSlack {
+				best, bestSlack = i, slack
+			}
+		}
+		if best < 0 {
+			bins = append(bins, l)
+		} else {
+			bins[best] += l
+		}
+	}
+	res := PackResult{ActivePS: len(bins)}
+	for _, b := range bins {
+		res.PowerWatts += ps.Power(b)
+	}
+	return res
+}
+
+// PackNextFit is the weakest common heuristic: loads go into the
+// current server until it overflows, then a new one opens. It serves as
+// a deliberately poor orchestration baseline for energy ablations.
+func PackNextFit(ps PSModel, duLoads []float64) PackResult {
+	loads := clampLoads(ps, duLoads)
+	var bins []float64
+	cur := -1
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		if cur < 0 || bins[cur]+l > ps.CapacityMbps {
+			bins = append(bins, 0)
+			cur = len(bins) - 1
+		}
+		bins[cur] += l
+	}
+	res := PackResult{ActivePS: len(bins)}
+	for _, b := range bins {
+		res.PowerWatts += ps.Power(b)
+	}
+	return res
+}
+
+// LowerBoundPS returns the information-theoretic minimum number of
+// active servers for the given loads: ceil(total load / capacity).
+func LowerBoundPS(ps PSModel, duLoads []float64) int {
+	loads := clampLoads(ps, duLoads)
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	if total == 0 {
+		return 0
+	}
+	return int(math.Ceil(total/ps.CapacityMbps - 1e-9))
+}
+
+// LowerBoundPower returns the minimum possible power for the loads: the
+// lower-bound server count at balanced load.
+func LowerBoundPower(ps PSModel, duLoads []float64) float64 {
+	n := LowerBoundPS(ps, duLoads)
+	if n == 0 {
+		return 0
+	}
+	loads := clampLoads(ps, duLoads)
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	return float64(n)*ps.IdleWatts + total/ps.CapacityMbps*(ps.MaxWatts-ps.IdleWatts)
+}
+
+func clampLoads(ps PSModel, duLoads []float64) []float64 {
+	out := make([]float64, 0, len(duLoads))
+	for _, l := range duLoads {
+		if l < 0 {
+			l = 0
+		}
+		if l > ps.CapacityMbps {
+			l = ps.CapacityMbps
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// Heuristic selects a packing policy for Run.
+type Heuristic int
+
+// Packing policies.
+const (
+	FirstFitDecreasing Heuristic = iota
+	BestFitDecreasing
+	NextFit
+)
+
+// String implements fmt.Stringer.
+func (h Heuristic) String() string {
+	switch h {
+	case FirstFitDecreasing:
+		return "first-fit-decreasing"
+	case BestFitDecreasing:
+		return "best-fit-decreasing"
+	default:
+		return "next-fit"
+	}
+}
+
+// PackWith dispatches to the selected heuristic.
+func PackWith(h Heuristic, ps PSModel, duLoads []float64) PackResult {
+	switch h {
+	case BestFitDecreasing:
+		return PackBestFit(ps, duLoads)
+	case NextFit:
+		return PackNextFit(ps, duLoads)
+	default:
+		return Pack(ps, duLoads)
+	}
+}
+
+// RunWith executes the per-slot orchestration with the chosen
+// heuristic.
+func RunWith(h Heuristic, ps PSModel, series *ThroughputSeries) (*RunResult, error) {
+	if series == nil {
+		return nil, errNilSeries
+	}
+	out := &RunResult{
+		ActivePS: make([]float64, series.Slots),
+		PowerW:   make([]float64, series.Slots),
+	}
+	for ts := 0; ts < series.Slots; ts++ {
+		res := PackWith(h, ps, series.LoadsAt(ts))
+		out.ActivePS[ts] = float64(res.ActivePS)
+		out.PowerW[ts] = res.PowerWatts
+	}
+	return out, nil
+}

@@ -1,0 +1,224 @@
+// Package mobiletraffic is a library for characterizing and generating
+// session-level mobile traffic demands, reproducing "Characterizing and
+// Modeling Session-Level Mobile Traffic Demands from Large-Scale
+// Measurements" (Zanella, Bazco-Nogueras, Ziemlicki, Fiore — ACM IMC
+// 2023).
+//
+// The library models mobile traffic at the level of individual
+// transport-layer (TCP/UDP) sessions served by one base station:
+//
+//   - the per-minute session arrival process at a BS is bi-modal — a
+//     daytime Gaussian (sigma ~ mu/10) and a nighttime Pareto (shape
+//     1.765) — with a constant measurement-driven per-service breakdown
+//     (paper §5.1);
+//   - the per-session traffic volume PDF of each service is a base-10
+//     log-normal mixture: one main trend plus at most three
+//     characteristic peaks found by residual analysis (paper §5.2);
+//   - the session duration relates to its volume through a power law
+//     v_s(d) = alpha_s * d^beta_s, super-linear for streaming services
+//     and sub-linear for interactive ones (paper §5.3).
+//
+// Fitted models are serializable parameter tuples
+// [mu_s, sigma_s, {k_n, mu_n, sigma_n}, alpha_s, beta_s] (paper §5.4)
+// and drive a Generator producing synthetic per-minute session
+// workloads with realistic volume, duration and throughput — suitable
+// for network planning, slicing and vRAN orchestration studies (paper
+// §6).
+//
+// The paper's measurement dataset is proprietary; this repository
+// bundles a measurement-campaign simulator (see FitFromSimulation and
+// DESIGN.md) whose per-service ground truth is seeded from the paper's
+// published statistics, so the full pipeline runs end-to-end and every
+// fitted model can be validated against known ground truth.
+package mobiletraffic
+
+import (
+	"fmt"
+	"io"
+
+	"mobiletraffic/internal/core"
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+	"mobiletraffic/internal/services"
+)
+
+// Re-exported model types: the paper's released artifacts.
+type (
+	// ModelSet is the released collection of per-service session models
+	// plus per-BS-class arrival models.
+	ModelSet = core.ModelSet
+	// ServiceModel is one service's complete parameter tuple.
+	ServiceModel = core.ServiceModel
+	// VolumeModel is the log-normal mixture of the per-session traffic
+	// volume PDF (§5.2).
+	VolumeModel = core.VolumeModel
+	// VolumeComponent is one residual mixture component.
+	VolumeComponent = core.VolumeComponent
+	// DurationModel is the duration-volume power law (§5.3).
+	DurationModel = core.DurationModel
+	// ArrivalModel is the bi-modal per-minute arrival model (§5.1).
+	ArrivalModel = core.ArrivalModel
+	// Generator draws synthetic per-minute session workloads from a
+	// ModelSet (§5.4).
+	Generator = core.Generator
+	// GenSession is one generated session: volume, duration and mean
+	// throughput.
+	GenSession = core.GenSession
+	// ServiceProfile is a ground-truth service description used by the
+	// bundled measurement simulator.
+	ServiceProfile = services.Profile
+)
+
+// NewGenerator validates a model set and returns a deterministic
+// session generator.
+func NewGenerator(set *ModelSet, seed int64) (*Generator, error) {
+	return core.NewGenerator(set, seed)
+}
+
+// ParseModels reads a released parameter file (JSON).
+func ParseModels(data []byte) (*ModelSet, error) { return core.ModelSetFromJSON(data) }
+
+// LoadModels reads a released parameter file from r.
+func LoadModels(r io.Reader) (*ModelSet, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("mobiletraffic: read models: %w", err)
+	}
+	return ParseModels(data)
+}
+
+// SaveModels writes the model set as indented JSON to w.
+func SaveModels(set *ModelSet, w io.Writer) error {
+	data, err := set.ToJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Services returns the bundled 31-service catalog (paper Table 1 plus
+// three extra modeled services), ordered by descending session share.
+func Services() []ServiceProfile { return services.All() }
+
+// SimulationConfig sizes the bundled measurement-campaign simulation
+// used when no real session data is available. Zero values take
+// defaults: 40 BSs, 7 days, 25% transient sessions.
+type SimulationConfig struct {
+	NumBS int
+	Days  int
+	Seed  int64
+	// MoveProb is the share of transient (mobility-truncated) sessions;
+	// negative disables mobility.
+	MoveProb float64
+}
+
+// FitFromSimulation runs the bundled measurement simulation (a
+// scaled-down stand-in for the paper's 282k-BS campaign) and fits the
+// complete §5 model set on it: per-service volume mixtures and power
+// laws plus per-decile arrival models.
+func FitFromSimulation(cfg SimulationConfig) (*ModelSet, error) {
+	if cfg.NumBS <= 0 {
+		cfg.NumBS = 40
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 7
+	}
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: cfg.NumBS, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{
+		Days: cfg.Days, Seed: cfg.Seed, MoveProb: cfg.MoveProb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coll, err := probe.NewCollector(len(sim.Services))
+	if err != nil {
+		return nil, err
+	}
+	var obsErr error
+	if err := sim.GenerateAll(func(s netsim.Session) {
+		if obsErr == nil {
+			obsErr = coll.Observe(s)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if obsErr != nil {
+		return nil, obsErr
+	}
+	set, err := core.FitServiceModels(coll, sim.Services, nil)
+	if err != nil {
+		return nil, err
+	}
+	set.Arrivals, err = core.FitArrivalsByDecile(coll, topo)
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// SessionObservation is one measured transport-layer session, the input
+// unit for fitting models on user-provided data.
+type SessionObservation struct {
+	Service  string  // service name (free-form, defines the model name)
+	BS       int     // serving base station identifier
+	Day      int     // observation day (0-based; day 0 = Monday)
+	Minute   int     // minute of day of establishment, [0, 1440)
+	Volume   float64 // session traffic in bytes
+	Duration float64 // session duration in seconds
+}
+
+// FitFromObservations aggregates user-provided sessions into the
+// paper's per-(service, BS, day) statistics (§3.2) and fits the §5
+// models. At least a few hundred sessions per service are needed for a
+// stable fit; services below minSessions (default 100 when <= 0) are
+// skipped.
+func FitFromObservations(obs []SessionObservation, minSessions float64) (*ModelSet, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("mobiletraffic: no observations")
+	}
+	// Assign service indices in first-seen order.
+	idx := map[string]int{}
+	var names []string
+	for _, o := range obs {
+		if _, ok := idx[o.Service]; !ok {
+			idx[o.Service] = len(names)
+			names = append(names, o.Service)
+		}
+	}
+	coll, err := probe.NewCollector(len(names))
+	if err != nil {
+		return nil, err
+	}
+	for i, o := range obs {
+		if o.Minute < 0 || o.Minute >= netsim.MinutesPerDay {
+			return nil, fmt.Errorf("mobiletraffic: observation %d: minute %d out of range", i, o.Minute)
+		}
+		if o.Volume <= 0 || o.Duration <= 0 {
+			return nil, fmt.Errorf("mobiletraffic: observation %d: volume and duration must be positive", i)
+		}
+		err := coll.Observe(netsim.Session{
+			Service:  idx[o.Service],
+			BS:       o.BS,
+			Day:      o.Day,
+			Minute:   o.Minute,
+			Volume:   o.Volume,
+			Duration: o.Duration,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	catalog := make([]services.Profile, len(names))
+	for name, i := range idx {
+		catalog[i] = services.Profile{Name: name}
+	}
+	opts := &core.FitOptions{MinSessions: minSessions}
+	if minSessions <= 0 {
+		opts = nil
+	}
+	return core.FitServiceModels(coll, catalog, opts)
+}
