@@ -404,3 +404,28 @@ func BenchmarkExtensionDrift(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExtensionChaos exercises the fault-injection sweep at the
+// acceptance intensities (20% BS-day outage, 10% truncated days, 5%
+// flow loss, 2% duplication, 3% signaling gaps, 2% misclassification)
+// and asserts the graceful pipeline recovers the seeded models: a
+// non-empty ModelSet at every level and median |dBeta| within the same
+// 0.1 tolerance the stability extension holds day-split fits to.
+func BenchmarkExtensionChaos(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExpChaos(env, experiments.ChaosConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Modeled == 0 {
+				b.Fatalf("intensity %v returned an empty ModelSet", row.Intensity)
+			}
+		}
+		if drift := r.WorstBetaDrift(); drift > 0.1 {
+			b.Fatalf("beta drift under faults too large: %v", drift)
+		}
+	}
+}

@@ -45,7 +45,7 @@ func main() {
 	if len(want) == 0 {
 		want = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"fig10", "quality", "table1", "table2", "fig12", "fig13", "ablations",
-			"applayer", "stability", "fidelity", "diurnal", "drift"}
+			"applayer", "stability", "fidelity", "diurnal", "drift", "chaos"}
 	}
 
 	fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days, seed %d)...\n", *numBS, *days, *seed)
@@ -127,6 +127,9 @@ func main() {
 			render(r, err)
 		case "drift":
 			r, err := experiments.ExpDrift(env)
+			render(r, err)
+		case "chaos":
+			r, err := experiments.ExpChaos(env, experiments.ChaosConfig{})
 			render(r, err)
 		case "ablations":
 			for _, run := range []func(*experiments.Env) (*experiments.AblationResult, error){

@@ -78,30 +78,32 @@ func main() {
 			m.Name, m.SessionShare*100, m.Volume.MainMu, m.Volume.MainSigma,
 			len(m.Volume.Peaks), m.Duration.Alpha, m.Duration.Beta, m.Duration.R2, m.VolumeEMD)
 	}
-	// Basic validation warnings.
-	var warned bool
 	for _, m := range models {
-		if m.Volume.MainSigma <= 0 || m.Duration.Beta == 0 {
-			fmt.Fprintf(os.Stderr, "warning: %s has degenerate parameters\n", m.Name)
-			warned = true
-		}
 		if len(m.Volume.Peaks) > 3 {
 			fmt.Fprintf(os.Stderr, "warning: %s exceeds the 3-peak cap\n", m.Name)
-			warned = true
 		}
 	}
-	if !warned {
-		fmt.Println("\nall parameter tuples pass validation")
-	}
+	fmt.Println("\nall parameter tuples pass validation")
 }
 
+// load reads and validates a parameter file. A file carrying NaN/Inf
+// parameters, non-positive sigmas or alphas, or out-of-range session
+// shares is rejected with a clear error instead of being printed — a
+// model card must never launder a corrupt release.
 func load(path string) (*mobiletraffic.ModelSet, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return mobiletraffic.LoadModels(f)
+	set, err := mobiletraffic.LoadModels(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: invalid parameter file:\n%w", path, err)
+	}
+	return set, nil
 }
 
 func fatal(err error) {

@@ -86,7 +86,14 @@ func FitDurationModel(durations, values, counts []float64) (*DurationModel, erro
 	var xs, ys []float64
 	var ws []float64 // nil: uniform weights
 	for i := range durations {
-		if math.IsNaN(values[i]) || values[i] <= 0 || durations[i] <= 0 {
+		// Reject non-finite observations outright: on degraded
+		// measurements (probe outages, truncated exports) empty bins
+		// surface as NaN and overflowed accumulators as Inf, and either
+		// would poison the LM residuals.
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) || values[i] <= 0 {
+			continue
+		}
+		if math.IsInf(durations[i], 0) || durations[i] <= 0 {
 			continue
 		}
 		if counts != nil && counts[i] < MinPairSessions {
@@ -110,14 +117,23 @@ func FitDurationModel(durations, values, counts []float64) (*DurationModel, erro
 	if err != nil {
 		return nil, err
 	}
+	if !isFinite(line.Intercept) || !isFinite(line.Slope) {
+		return nil, errors.New("core: duration fit: non-finite log-log initialization")
+	}
 	model := &DurationModel{Alpha: math.Exp(line.Intercept), Beta: line.Slope}
 	// Refine with LM in the log domain (equivalent to multiplicative
-	// least squares on the original scale).
+	// least squares on the original scale). The refinement is guarded:
+	// a result with NaN/Inf parameters — possible when degraded inputs
+	// leave the normal equations near-singular — is rejected and the
+	// log-log initialization kept.
 	logModel := func(p []float64, x float64) float64 { return p[0] + p[1]*x }
 	res, err := fit.LM(logModel, lx, ly, []float64{line.Intercept, line.Slope}, &fit.LMOptions{Weights: ws})
-	if err == nil {
+	if err == nil && isFinite(res.Params[0]) && isFinite(res.Params[1]) {
 		model.Alpha = math.Exp(res.Params[0])
 		model.Beta = res.Params[1]
+	}
+	if !isFinite(model.Alpha) || model.Alpha <= 0 || !isFinite(model.Beta) {
+		return nil, errors.New("core: duration fit produced non-finite parameters")
 	}
 	yhat := make([]float64, len(lx))
 	for i, x := range lx {

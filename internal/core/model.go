@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // ServiceModel is the complete released model of one service (§5.4):
@@ -77,6 +79,81 @@ func (s *ModelSet) ByName(name string) (*ServiceModel, error) {
 		}
 	}
 	return nil, fmt.Errorf("core: model set has no service %q", name)
+}
+
+// Validate checks that every released parameter tuple is usable for
+// generation: finite parameters, positive widths and prefactors, and
+// session shares inside [0, 1] that do not sum past one. A parameter
+// file that fails Validate would produce NaN volumes or unsampleable
+// distributions, so loaders should reject it outright.
+func (s *ModelSet) Validate() error {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	var problems []string
+	bad := func(format string, args ...interface{}) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if len(s.Services) == 0 {
+		bad("no services")
+	}
+	var shareSum float64
+	for i := range s.Services {
+		m := &s.Services[i]
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("service #%d", i)
+			bad("%s: empty name", name)
+		}
+		if !finite(m.SessionShare) || m.SessionShare < 0 || m.SessionShare > 1 {
+			bad("%s: session share %v outside [0, 1]", name, m.SessionShare)
+		} else {
+			shareSum += m.SessionShare
+		}
+		if !finite(m.Volume.MainMu) {
+			bad("%s: non-finite volume mu %v", name, m.Volume.MainMu)
+		}
+		if !finite(m.Volume.MainSigma) || m.Volume.MainSigma <= 0 {
+			bad("%s: volume sigma %v not positive", name, m.Volume.MainSigma)
+		}
+		if !finite(m.Volume.MaxVolume) || m.Volume.MaxVolume < 0 {
+			bad("%s: invalid max volume %v", name, m.Volume.MaxVolume)
+		}
+		for j, p := range m.Volume.Peaks {
+			if !finite(p.K) || p.K <= 0 || !finite(p.Mu) || !finite(p.Sigma) || p.Sigma <= 0 {
+				bad("%s: peak %d has invalid parameters (k=%v mu=%v sigma=%v)", name, j+1, p.K, p.Mu, p.Sigma)
+			}
+		}
+		if !finite(m.Duration.Alpha) || m.Duration.Alpha <= 0 {
+			bad("%s: power-law alpha %v not positive", name, m.Duration.Alpha)
+		}
+		if !finite(m.Duration.Beta) || m.Duration.Beta == 0 {
+			bad("%s: power-law beta %v not invertible", name, m.Duration.Beta)
+		}
+		if math.IsInf(m.VolumeEMD, 0) || m.VolumeEMD < 0 {
+			bad("%s: invalid volume EMD %v", name, m.VolumeEMD)
+		}
+		if !finite(m.DurationNoise) || m.DurationNoise < 0 {
+			bad("%s: invalid duration noise %v", name, m.DurationNoise)
+		}
+	}
+	if shareSum > 1+1e-6 {
+		bad("session shares sum to %v > 1", shareSum)
+	}
+	for i, a := range s.Arrivals {
+		if a == nil {
+			bad("arrival class %d: nil model", i+1)
+			continue
+		}
+		if !finite(a.PeakMu) || a.PeakMu < 0 || !finite(a.PeakSigma) || a.PeakSigma < 0 {
+			bad("arrival class %d: invalid daytime Gaussian (mu=%v sigma=%v)", i+1, a.PeakMu, a.PeakSigma)
+		}
+		if !finite(a.OffShape) || a.OffShape <= 0 || !finite(a.OffScale) || a.OffScale <= 0 {
+			bad("arrival class %d: invalid nighttime Pareto (shape=%v scale=%v)", i+1, a.OffShape, a.OffScale)
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("core: invalid model set:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
 }
 
 // Normalize rescales the session shares to sum to one, returning an

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mobiletraffic/internal/mathx"
+	"mobiletraffic/internal/netsim"
 )
 
 func testModelSet() *ModelSet {
@@ -201,5 +202,75 @@ func TestGeneratedVolumesMatchModelPDF(t *testing.T) {
 	}
 	if s := mathx.Std(logs); math.Abs(s-0.7) > 0.02 {
 		t.Errorf("generated log-volume std = %v, want 0.7", s)
+	}
+}
+
+func validSet() *ModelSet {
+	return &ModelSet{
+		Services: []ServiceModel{
+			{
+				Name: "A", SessionShare: 0.6,
+				Volume:   VolumeModel{MainMu: 6, MainSigma: 0.8, Peaks: []VolumeComponent{{K: 0.1, Mu: 7, Sigma: 0.2}}},
+				Duration: DurationModel{Alpha: 1e4, Beta: 1.2, R2: 0.9},
+			},
+			{
+				Name: "B", SessionShare: 0.4,
+				Volume:   VolumeModel{MainMu: 5, MainSigma: 0.5},
+				Duration: DurationModel{Alpha: 2e3, Beta: 0.7, R2: 0.8},
+			},
+		},
+		Arrivals: []*ArrivalModel{{PeakMu: 10, PeakSigma: 1, OffShape: ParetoShape, OffScale: 0.5}},
+	}
+}
+
+func TestModelSetValidate(t *testing.T) {
+	if err := validSet().Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ModelSet)
+	}{
+		{"NaN volume mu", func(s *ModelSet) { s.Services[0].Volume.MainMu = math.NaN() }},
+		{"Inf volume sigma", func(s *ModelSet) { s.Services[0].Volume.MainSigma = math.Inf(1) }},
+		{"zero volume sigma", func(s *ModelSet) { s.Services[0].Volume.MainSigma = 0 }},
+		{"negative alpha", func(s *ModelSet) { s.Services[1].Duration.Alpha = -3 }},
+		{"NaN beta", func(s *ModelSet) { s.Services[1].Duration.Beta = math.NaN() }},
+		{"zero beta", func(s *ModelSet) { s.Services[1].Duration.Beta = 0 }},
+		{"negative share", func(s *ModelSet) { s.Services[0].SessionShare = -0.1 }},
+		{"share above one", func(s *ModelSet) { s.Services[0].SessionShare = 1.5 }},
+		{"shares sum past one", func(s *ModelSet) {
+			s.Services[0].SessionShare = 0.8
+			s.Services[1].SessionShare = 0.8
+		}},
+		{"negative peak weight", func(s *ModelSet) { s.Services[0].Volume.Peaks[0].K = -0.1 }},
+		{"NaN peak mu", func(s *ModelSet) { s.Services[0].Volume.Peaks[0].Mu = math.NaN() }},
+		{"negative EMD", func(s *ModelSet) { s.Services[0].VolumeEMD = -1 }},
+		{"Inf max volume", func(s *ModelSet) { s.Services[0].Volume.MaxVolume = math.Inf(1) }},
+		{"nil arrival", func(s *ModelSet) { s.Arrivals = append(s.Arrivals, nil) }},
+		{"negative arrival mu", func(s *ModelSet) { s.Arrivals[0].PeakMu = -2 }},
+		{"zero Pareto scale", func(s *ModelSet) { s.Arrivals[0].OffScale = 0 }},
+		{"empty set", func(s *ModelSet) { s.Services = nil }},
+	}
+	for _, tc := range cases {
+		s := validSet()
+		tc.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: not rejected", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsFittedSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	coll, sim := buildMeasurement(t, netsim.SimConfig{Days: 1, Seed: 7}, 10)
+	set, err := FitServiceModels(coll, sim.Services, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("freshly fitted set must validate: %v", err)
 	}
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 
+	"mobiletraffic/internal/dist"
 	"mobiletraffic/internal/netsim"
 	"mobiletraffic/internal/probe"
 	"mobiletraffic/internal/services"
@@ -42,23 +44,40 @@ func (o *FitOptions) withDefaults() FitOptions {
 }
 
 // FitServiceModels runs the full §5 modeling pipeline on collected
-// measurements: for every service in the catalog it aggregates the
-// nationwide volume PDF (Eq. 2) and duration-volume pairs (Eq. 1),
-// fits the log-normal mixture (§5.2) and the power law (§5.3), and
-// records the session share (Table 1) and the volume-model EMD (§5.4).
-// Services with too few sessions are skipped.
+// measurements; see FitServiceModelsReport. It returns the (possibly
+// partial) ModelSet and discards the degradation report.
 func FitServiceModels(c *probe.Collector, catalog []services.Profile, opts *FitOptions) (*ModelSet, error) {
+	set, _, err := FitServiceModelsReport(c, catalog, opts)
+	return set, err
+}
+
+// FitServiceModelsReport runs the full §5 modeling pipeline on
+// collected measurements: for every service in the catalog it
+// aggregates the nationwide volume PDF (Eq. 2) and duration-volume
+// pairs (Eq. 1), fits the log-normal mixture (§5.2) and the power law
+// (§5.3), and records the session share (Table 1) and the volume-model
+// EMD (§5.4).
+//
+// The pipeline degrades gracefully: a per-service failure never aborts
+// the run. Services whose mixture fit diverges fall back to a single
+// log-normal; services whose power-law fit fails fall back to a
+// constant-throughput law; services with too few sessions or unusable
+// statistics are skipped. Every deviation is recorded in the returned
+// FitReport, so a partial ModelSet always comes back with a faithful
+// account of what degraded. An error is returned only when the inputs
+// are structurally invalid or no service at all could be modeled.
+func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts *FitOptions) (*ModelSet, *FitReport, error) {
 	o := opts.withDefaults()
 	if c == nil {
-		return nil, fmt.Errorf("core: nil collector")
+		return nil, nil, fmt.Errorf("core: nil collector")
 	}
 	if len(catalog) != c.NumServices {
-		return nil, fmt.Errorf("core: catalog size %d does not match collector services %d",
+		return nil, nil, fmt.Errorf("core: catalog size %d does not match collector services %d",
 			len(catalog), c.NumServices)
 	}
 	shares, _, err := c.SessionShare(o.Filter)
 	if err != nil {
-		return nil, fmt.Errorf("core: session shares: %w", err)
+		return nil, nil, fmt.Errorf("core: session shares: %w", err)
 	}
 	durations := c.DurationCenters()
 	withFilter := func(svc int) probe.KeyFilter {
@@ -69,63 +88,190 @@ func FitServiceModels(c *probe.Collector, catalog []services.Profile, opts *FitO
 		return f
 	}
 	set := &ModelSet{}
+	report := &FitReport{}
 	for svc := range catalog {
+		name := catalog[svc].Name
 		hist, weight, err := c.AggregateVolume(withFilter(svc))
-		if err != nil || weight < o.MinSessions {
+		if err != nil {
+			report.skip(name, "sessions", err)
+			continue
+		}
+		if weight < o.MinSessions {
+			report.skip(name, "sessions",
+				fmt.Errorf("%.0f sessions below the %.0f aggregation floor", weight, o.MinSessions))
 			continue
 		}
 		vm, err := FitVolumeModel(hist, o.Volume)
 		if err != nil {
-			return nil, fmt.Errorf("core: volume fit for %s: %w", catalog[svc].Name, err)
+			// The mixture fit diverged; a single log-normal over the
+			// same histogram still captures the main trend.
+			fb, fbErr := fallbackVolumeModel(hist)
+			if fbErr != nil {
+				report.skip(name, "volume", err)
+				continue
+			}
+			vm = fb
+			report.fallback(name, "volume", "single log-normal", err)
 		}
 		emd, err := vm.EMD(hist)
 		if err != nil {
-			return nil, fmt.Errorf("core: volume EMD for %s: %w", catalog[svc].Name, err)
+			emd = math.NaN()
+			report.warn("%s: volume EMD unavailable: %v", name, err)
 		}
 		values, counts, err := c.AggregatePairs(withFilter(svc))
 		if err != nil {
-			return nil, fmt.Errorf("core: pairs for %s: %w", catalog[svc].Name, err)
+			report.skip(name, "pairs", err)
+			continue
 		}
 		dm, err := FitDurationModel(durations, values, counts)
 		if err != nil {
-			return nil, fmt.Errorf("core: duration fit for %s: %w", catalog[svc].Name, err)
+			fb, fbErr := fallbackDurationModel(durations, values, counts)
+			if fbErr != nil {
+				report.skip(name, "duration", fmt.Errorf("%v; fallback: %v", err, fbErr))
+				continue
+			}
+			dm = fb
+			report.fallback(name, "duration", "constant-throughput power law", err)
 		}
 		set.Services = append(set.Services, ServiceModel{
-			Name:          catalog[svc].Name,
+			Name:          name,
 			SessionShare:  shares[svc],
 			Volume:        *vm,
 			Duration:      *dm,
 			VolumeEMD:     emd,
 			DurationNoise: o.DurationNoise,
 		})
+		report.Fitted++
 	}
 	if len(set.Services) == 0 {
-		return nil, fmt.Errorf("core: no service had >= %v sessions", o.MinSessions)
+		return nil, report, fmt.Errorf("core: no service could be modeled (%d skipped)", len(report.Skipped))
 	}
-	return set, nil
+	return set, report, nil
 }
 
-// FitArrivalsByDecile fits one ArrivalModel per BS load decile from the
-// collected minute counts, reproducing the Fig. 3 / §5.1 fits. topo
-// provides the decile membership of each BS.
-func FitArrivalsByDecile(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalModel, error) {
-	if c == nil || topo == nil {
-		return nil, fmt.Errorf("core: nil collector or topology")
+// FallbackVolumeSigmaFloor is the minimum main-trend width of a
+// fallback volume fit, one measurement bin (0.05 decades): a PDF with
+// all mass in a single bin would otherwise yield a zero-width,
+// unsampleable log-normal.
+const FallbackVolumeSigmaFloor = 0.05
+
+// fallbackVolumeModel fits a single log-normal (no residual peaks) by
+// moments — the degenerate Eq. (5) with zero components. Used when the
+// full mixture decomposition diverges on a degraded measurement PDF.
+func fallbackVolumeModel(measured *dist.Hist) (*VolumeModel, error) {
+	h := measured.Clone()
+	if err := h.Normalize(); err != nil {
+		return nil, fmt.Errorf("core: volume fallback: %w", err)
 	}
-	peakByClass := make([][]float64, 10)
-	offByClass := make([][]float64, 10)
+	mu, sigma := h.Mean(), h.Std()
+	if !isFinite(mu) || !isFinite(sigma) {
+		return nil, fmt.Errorf("core: volume fallback: non-finite moments")
+	}
+	if sigma < FallbackVolumeSigmaFloor {
+		sigma = FallbackVolumeSigmaFloor
+	}
+	return &VolumeModel{
+		MainMu:    mu,
+		MainSigma: sigma,
+		MaxVolume: math.Pow(10, h.Quantile(1-1e-4)),
+	}, nil
+}
+
+// fallbackDurationModel fits the degenerate power law beta = 1
+// (duration-independent throughput): alpha is the session-weighted
+// mean throughput over every populated duration bin. Used when the
+// guarded LM fit fails on degraded pair statistics — it preserves the
+// service's traffic intensity even when the exponent is unrecoverable.
+func fallbackDurationModel(durations, values, counts []float64) (*DurationModel, error) {
+	var vol, dur float64
+	for i := range durations {
+		if i >= len(values) || counts == nil || i >= len(counts) {
+			break
+		}
+		if counts[i] <= 0 || !isFinite(values[i]) || values[i] <= 0 || durations[i] <= 0 {
+			continue
+		}
+		vol += values[i] * counts[i]
+		dur += durations[i] * counts[i]
+	}
+	if vol <= 0 || dur <= 0 {
+		return nil, fmt.Errorf("core: duration fallback: no populated bins")
+	}
+	return &DurationModel{Alpha: vol / dur, Beta: 1, R2: 0}, nil
+}
+
+// isFinite reports whether v is neither NaN nor infinite.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// FitArrivalsByDecile fits one ArrivalModel per BS load decile from
+// the collected minute counts; see FitArrivalsByDecileReport. It
+// returns the models and discards the degradation report.
+func FitArrivalsByDecile(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalModel, error) {
+	models, _, err := FitArrivalsByDecileReport(c, topo)
+	return models, err
+}
+
+// FitArrivalsByDecileReport fits one ArrivalModel per BS load decile
+// from the collected minute counts, reproducing the Fig. 3 / §5.1
+// fits. topo provides the decile membership of each BS.
+//
+// Deciles whose BSs exported no samples (e.g. every probe of the class
+// was dark) borrow the model of the nearest populated decile instead
+// of aborting the whole fit; each substitution is recorded in the
+// returned FitReport. An error is returned only when no decile at all
+// could be fitted.
+func FitArrivalsByDecileReport(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalModel, *FitReport, error) {
+	if c == nil || topo == nil {
+		return nil, nil, fmt.Errorf("core: nil collector or topology")
+	}
+	report := &FitReport{}
+	models := make([]*ArrivalModel, 10)
 	for d := 0; d < 10; d++ {
+		label := fmt.Sprintf("decile %d", d+1)
 		idx := topo.ByDecile(d)
 		if len(idx) == 0 {
-			return nil, fmt.Errorf("core: decile %d has no BSs", d)
+			report.skip(label, "arrivals", fmt.Errorf("no BSs in class"))
+			continue
 		}
 		filter := probe.BSIn(idx)
-		peakByClass[d] = c.MinuteCountSamples(filter, netsim.IsPeakMinute)
-		offByClass[d] = c.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
-		if len(peakByClass[d]) == 0 || len(offByClass[d]) == 0 {
-			return nil, fmt.Errorf("core: decile %d has no minute samples", d)
+		peak := c.MinuteCountSamples(filter, netsim.IsPeakMinute)
+		off := c.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
+		if len(peak) == 0 || len(off) == 0 {
+			report.skip(label, "arrivals", fmt.Errorf("no minute samples (probes dark?)"))
+			continue
 		}
+		m, err := FitArrivalModel(peak, off)
+		if err != nil {
+			report.skip(label, "arrivals", err)
+			continue
+		}
+		models[d] = m
+		report.Fitted++
 	}
-	models, _, err := FitArrivalModelsByClass(peakByClass, offByClass)
-	return models, err
+	if report.Fitted == 0 {
+		return nil, report, fmt.Errorf("core: no arrival class could be fitted")
+	}
+	// Backfill missing classes from the nearest fitted decile so the
+	// released model always covers all 10 load classes.
+	for d := 0; d < 10; d++ {
+		if models[d] != nil {
+			continue
+		}
+		src := -1
+		for step := 1; step < 10; step++ {
+			if d-step >= 0 && models[d-step] != nil {
+				src = d - step
+				break
+			}
+			if d+step < 10 && models[d+step] != nil {
+				src = d + step
+				break
+			}
+		}
+		clone := *models[src]
+		models[d] = &clone
+		report.fallback(fmt.Sprintf("decile %d", d+1), "arrivals",
+			fmt.Sprintf("nearest class (decile %d)", src+1), nil)
+	}
+	return models, report, nil
 }

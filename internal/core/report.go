@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graceful-degradation accounting for the fitting pipeline. On real
+// measurement campaigns the input statistics are never pristine —
+// probe outages empty whole cells, classifier errors contaminate
+// per-service PDFs, truncated days starve duration bins — so a fit
+// that aborts on the first per-service failure would rarely return at
+// all. Instead the pipeline always returns the services it could
+// model plus a FitReport stating exactly which services were skipped,
+// which were fitted with a fallback, and why.
+
+// FitIssue records one per-service problem encountered while fitting.
+type FitIssue struct {
+	// Service is the affected service (or "decile N" for arrival fits).
+	Service string `json:"service"`
+	// Stage is the pipeline stage that failed: "sessions", "volume",
+	// "pairs", "duration" or "arrivals".
+	Stage string `json:"stage"`
+	// Fallback names the substitute model used, empty when the service
+	// was skipped outright.
+	Fallback string `json:"fallback,omitempty"`
+	// Err is the underlying failure.
+	Err string `json:"error,omitempty"`
+}
+
+func (i FitIssue) String() string {
+	if i.Fallback != "" {
+		return fmt.Sprintf("%s: %s fit degraded to %s (%s)", i.Service, i.Stage, i.Fallback, i.Err)
+	}
+	return fmt.Sprintf("%s: skipped at %s stage (%s)", i.Service, i.Stage, i.Err)
+}
+
+// FitReport is the faithful account of one graceful-degradation
+// fitting run: what was modeled cleanly, what needed a fallback, what
+// had to be skipped.
+type FitReport struct {
+	// Fitted counts services (or arrival classes) modeled, including
+	// fallback fits.
+	Fitted int `json:"fitted"`
+	// Skipped lists inputs no model could be produced for.
+	Skipped []FitIssue `json:"skipped,omitempty"`
+	// Fallbacks lists inputs fitted with a degraded substitute model.
+	Fallbacks []FitIssue `json:"fallbacks,omitempty"`
+	// Warnings lists non-fatal anomalies (e.g. a missing quality
+	// metric) that did not change the fitted parameters.
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+func (r *FitReport) skip(service, stage string, err error) {
+	r.Skipped = append(r.Skipped, FitIssue{Service: service, Stage: stage, Err: errString(err)})
+}
+
+func (r *FitReport) fallback(service, stage, fallback string, err error) {
+	r.Fallbacks = append(r.Fallbacks, FitIssue{
+		Service: service, Stage: stage, Fallback: fallback, Err: errString(err),
+	})
+}
+
+func (r *FitReport) warn(format string, args ...interface{}) {
+	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Degraded reports whether anything deviated from a clean fit.
+func (r *FitReport) Degraded() bool {
+	return len(r.Skipped) > 0 || len(r.Fallbacks) > 0 || len(r.Warnings) > 0
+}
+
+// DegradedServices returns the sorted, de-duplicated names of every
+// service that was skipped or needed a fallback.
+func (r *FitReport) DegradedServices() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, issues := range [][]FitIssue{r.Skipped, r.Fallbacks} {
+		for _, i := range issues {
+			if !seen[i.Service] {
+				seen[i.Service] = true
+				out = append(out, i.Service)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServiceSkips counts skipped services, excluding arrival-class
+// ("decile N") entries, so callers can reconcile modeled + skipped
+// against the catalog size.
+func (r *FitReport) ServiceSkips() int {
+	n := 0
+	for _, i := range r.Skipped {
+		if i.Stage != "arrivals" {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge folds another report (e.g. the arrival-model report) into r.
+func (r *FitReport) Merge(other *FitReport) {
+	if other == nil {
+		return
+	}
+	r.Fitted += other.Fitted
+	r.Skipped = append(r.Skipped, other.Skipped...)
+	r.Fallbacks = append(r.Fallbacks, other.Fallbacks...)
+	r.Warnings = append(r.Warnings, other.Warnings...)
+}
+
+// Summary renders a one-line digest followed by one line per issue.
+func (r *FitReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fitted %d, fallbacks %d, skipped %d, warnings %d",
+		r.Fitted, len(r.Fallbacks), len(r.Skipped), len(r.Warnings))
+	for _, i := range r.Fallbacks {
+		b.WriteString("\n  " + i.String())
+	}
+	for _, i := range r.Skipped {
+		b.WriteString("\n  " + i.String())
+	}
+	for _, w := range r.Warnings {
+		b.WriteString("\n  warning: " + w)
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mobiletraffic/internal/faults"
+)
+
+func TestExpChaosRecoversUnderAcceptanceFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	env := sharedEnv(t)
+	r, err := ExpChaos(env, ChaosConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("default sweep has %d levels, want 4", len(r.Rows))
+	}
+	if len(r.Reports) != len(r.Rows) {
+		t.Fatalf("%d reports for %d rows", len(r.Reports), len(r.Rows))
+	}
+	prevKept := math.Inf(1)
+	for i, row := range r.Rows {
+		if row.Modeled == 0 {
+			t.Fatalf("intensity %v: empty ModelSet", row.Intensity)
+		}
+		if row.Modeled+r.Reports[i].ServiceSkips() < r.Baseline {
+			t.Errorf("intensity %v: %d modeled + %d skipped < %d baseline services",
+				row.Intensity, row.Modeled, r.Reports[i].ServiceSkips(), r.Baseline)
+		}
+		if row.SessionsKept <= 0 || row.SessionsKept > 1.01 {
+			t.Errorf("intensity %v: kept fraction %v out of range", row.Intensity, row.SessionsKept)
+		}
+		if row.SessionsKept > prevKept+0.02 {
+			t.Errorf("kept fraction rises with intensity: %v after %v", row.SessionsKept, prevKept)
+		}
+		prevKept = row.SessionsKept
+		if !row.Recovered {
+			t.Errorf("intensity %v: median |d beta| = %v above tolerance %v",
+				row.Intensity, row.MedianDeltaBeta, r.Tolerance)
+		}
+	}
+	// Full intensity must actually inject the acceptance fault mix.
+	last := r.Rows[len(r.Rows)-1]
+	if last.OutageDays == 0 || last.TruncDays == 0 {
+		t.Errorf("full intensity injected no whole-day faults: %+v", last)
+	}
+	if last.Misclass < 0.01 || last.Misclass > 0.04 {
+		t.Errorf("full-intensity misclassification rate = %v, want ~0.02", last.Misclass)
+	}
+	if r.WorstBetaDrift() > r.Tolerance {
+		t.Errorf("worst beta drift %v above tolerance", r.WorstBetaDrift())
+	}
+	tab := r.Table()
+	if len(tab.Header) != 11 || len(tab.Rows) != len(r.Rows) {
+		t.Errorf("table shape %dx%d", len(tab.Header), len(tab.Rows))
+	}
+	if !strings.Contains(tab.Title, "chaos") {
+		t.Errorf("title = %q", tab.Title)
+	}
+}
+
+// TestExpChaosReportsDegradation drives the faults hard enough that
+// some services lose their data, and checks the experiment still
+// returns (partial set + faithful report) instead of failing.
+func TestExpChaosReportsDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	env := sharedEnv(t)
+	r, err := ExpChaos(env, ChaosConfig{
+		Max: faults.Config{
+			OutageProb:       0.6,
+			TruncatedDayProb: 0.3,
+			FlowLossProb:     0.5,
+			SignalGapProb:    0.3,
+			MisclassProb:     0.05,
+		},
+		Levels: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row.Modeled == 0 {
+		t.Fatal("even a brutal fault mix must leave a partial ModelSet")
+	}
+	if row.SessionsKept > 0.5 {
+		t.Errorf("kept %v of sessions under 60%% outage + 50%% loss", row.SessionsKept)
+	}
+	// The degraded services must be accounted for: every baseline
+	// service is either modeled or listed as skipped.
+	if row.Modeled+r.Reports[0].ServiceSkips() < r.Baseline {
+		t.Errorf("%d modeled + %d skipped < %d baseline", row.Modeled,
+			r.Reports[0].ServiceSkips(), r.Baseline)
+	}
+}

@@ -5,52 +5,30 @@ import (
 	"runtime"
 	"sync"
 
+	"mobiletraffic/internal/faults"
 	"mobiletraffic/internal/netsim"
 	"mobiletraffic/internal/probe"
 )
 
-// collectParallel runs the measurement campaign with one worker per
-// CPU: each worker simulates whole base stations into its own collector
-// and the partial collectors are merged afterwards. The per-(BS, day)
-// random streams of the simulator are independent, and merging is
-// order-insensitive, so the result is bit-identical to a serial run.
-func collectParallel(sim *netsim.Simulator, days int) (*probe.Collector, error) {
-	numBS := len(sim.Topo.BSs)
-	workers := runtime.NumCPU()
-	if workers > numBS {
-		workers = numBS
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
+// forEachBS fans the base-station indices [0, numBS) out to workers
+// and runs work(worker, bs) for each. A worker that hits an error
+// stops doing work but keeps draining the task channel: if it returned
+// instead, a campaign where every worker fails early would leave the
+// feeder blocked on `tasks <- bs` forever. The first error of the
+// lowest-numbered failing worker is returned.
+func forEachBS(numBS, workers int, work func(worker, bs int) error) error {
 	tasks := make(chan int)
-	partials := make([]*probe.Collector, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		coll, err := probe.NewCollector(len(sim.Services))
-		if err != nil {
-			return nil, err
-		}
-		partials[w] = coll
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for bs := range tasks {
-				for day := 0; day < days; day++ {
-					if errs[w] != nil {
-						return
-					}
-					err := sim.GenerateDay(bs, day, func(s netsim.Session) {
-						if errs[w] == nil {
-							errs[w] = partials[w].Observe(s)
-						}
-					})
-					if err != nil && errs[w] == nil {
-						errs[w] = err
-					}
+				if errs[w] != nil {
+					continue // drain so the feeder never blocks
 				}
+				errs[w] = work(w, bs)
 			}
 		}(w)
 	}
@@ -61,8 +39,75 @@ func collectParallel(sim *netsim.Simulator, days int) (*probe.Collector, error) 
 	wg.Wait()
 	for w, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("worker %d: %w", w, err)
+			return fmt.Errorf("worker %d: %w", w, err)
 		}
+	}
+	return nil
+}
+
+// collectParallel runs the measurement campaign with one worker per
+// CPU: each worker simulates whole base stations into its own collector
+// and the partial collectors are merged afterwards. The per-(BS, day)
+// random streams of the simulator are independent, and merging is
+// order-insensitive, so the result is bit-identical to a serial run.
+func collectParallel(sim *netsim.Simulator, days int) (*probe.Collector, error) {
+	return collectFaulty(sim, days, nil)
+}
+
+// collectFaulty is collectParallel with an optional fault injector
+// composed over the measurement plane: every session of a (BS, day)
+// cell is routed through that cell's deterministic fault stream before
+// reaching the worker's collector, and cells hit by a whole-day probe
+// outage skip session generation entirely. A nil injector collects a
+// pristine campaign.
+func collectFaulty(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Collector, error) {
+	numBS := len(sim.Topo.BSs)
+	workers := runtime.NumCPU()
+	if workers > numBS {
+		workers = numBS
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	partials := make([]*probe.Collector, workers)
+	for w := range partials {
+		coll, err := probe.NewCollector(len(sim.Services))
+		if err != nil {
+			return nil, err
+		}
+		partials[w] = coll
+	}
+	err := forEachBS(numBS, workers, func(w, bs int) error {
+		for day := 0; day < days; day++ {
+			var stream *faults.DayStream
+			if inj != nil {
+				stream = inj.Day(bs, day)
+				if stream.Down() {
+					continue // whole-day probe outage: nothing is exported
+				}
+			}
+			var obsErr error
+			observe := func(s netsim.Session) {
+				if obsErr == nil {
+					obsErr = partials[w].Observe(s)
+				}
+			}
+			yield := observe
+			if stream != nil {
+				yield = func(s netsim.Session) { stream.Apply(s, observe) }
+			}
+			if err := sim.GenerateDay(bs, day, yield); err != nil {
+				return err
+			}
+			if obsErr != nil {
+				return obsErr
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	out := partials[0]
 	for _, p := range partials[1:] {

@@ -31,6 +31,9 @@ func WeightedLinearFit(xs, ys, ws []float64) (Line, error) {
 	}
 	var sw, sx, sy, sxx, sxy float64
 	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Line{}, fmt.Errorf("fit: non-finite point (%v, %v) at index %d", xs[i], ys[i], i)
+		}
 		w := 1.0
 		if ws != nil {
 			w = ws[i]

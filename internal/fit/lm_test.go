@@ -179,3 +179,55 @@ func TestRSquared(t *testing.T) {
 		t.Error("empty R2 must be NaN")
 	}
 }
+
+// TestLMDegenerateInputs drives LM with inputs a fault-injected
+// measurement campaign can produce — constant x (all sessions in one
+// duration bin) and NaN observations — and requires it to either
+// return an error or finite parameters, never panic or emit NaN.
+func TestLMDegenerateInputs(t *testing.T) {
+	power := func(p []float64, x float64) float64 { return p[0] * math.Pow(x, p[1]) }
+
+	// Constant x: the Jacobian columns are linearly dependent, so the
+	// normal equations are singular.
+	xs := []float64{5, 5, 5, 5}
+	ys := []float64{10, 11, 9, 10.5}
+	res, err := LM(power, xs, ys, []float64{1, 1}, nil)
+	if err == nil {
+		for i, p := range res.Params {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Errorf("constant-x fit returned non-finite param %d: %v", i, p)
+			}
+		}
+	}
+
+	// NaN observations must be rejected up front.
+	if _, err := LM(power, []float64{1, 2, 3}, []float64{1, math.NaN(), 3},
+		[]float64{1, 1}, nil); err == nil {
+		t.Error("NaN observation must error")
+	}
+	// NaN in x poisons the residuals the same way.
+	if _, err := LM(power, []float64{1, math.NaN(), 3}, []float64{1, 2, 3},
+		[]float64{1, 1}, nil); err == nil {
+		t.Error("NaN x must error")
+	}
+	// Inf observation likewise.
+	if _, err := LM(power, []float64{1, 2, 3}, []float64{1, math.Inf(1), 3},
+		[]float64{1, 1}, nil); err == nil {
+		t.Error("Inf observation must error")
+	}
+}
+
+// TestLinearFitRejectsNaN mirrors the LM guard for the closed-form
+// fits used to seed the power-law refinement.
+func TestLinearFitRejectsNaN(t *testing.T) {
+	if _, err := LinearFit([]float64{1, 2, math.NaN()}, []float64{1, 2, 3}); err == nil {
+		t.Error("NaN x must error")
+	}
+	if _, err := LinearFit([]float64{1, 2, 3}, []float64{1, math.Inf(1), 3}); err == nil {
+		t.Error("Inf y must error")
+	}
+	if _, err := WeightedLinearFit([]float64{1, 2, 3}, []float64{1, math.NaN(), 3},
+		[]float64{1, 1, 1}); err == nil {
+		t.Error("weighted NaN y must error")
+	}
+}

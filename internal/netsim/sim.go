@@ -167,16 +167,25 @@ func IsWeekend(day int) bool {
 	return d == 5 || d == 6
 }
 
-// dayRNG derives a deterministic per-(BS, day) random stream so that
-// days and BSs can be generated independently and in any order.
-func (s *Simulator) dayRNG(bsIdx, day int) *rand.Rand {
-	seed := uint64(s.Config.Seed)
+// BSDayRNG derives a deterministic random stream for one (BS, day)
+// cell from a master seed, so independent consumers — the simulator's
+// session synthesis, the fault injector of internal/faults — can
+// generate per-cell streams in any order (and in parallel) while
+// staying bit-identical to a serial run.
+func BSDayRNG(masterSeed int64, bsIdx, day int) *rand.Rand {
+	seed := uint64(masterSeed)
 	seed = seed*0x9E3779B97F4A7C15 + uint64(bsIdx)*0xBF58476D1CE4E5B9 + uint64(day)*0x94D049BB133111EB + 1
 	// SplitMix64 finalizer for good bit dispersion across (bs, day).
 	seed ^= seed >> 30
 	seed *= 0xBF58476D1CE4E5B9
 	seed ^= seed >> 27
 	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// dayRNG derives the simulator's deterministic per-(BS, day) random
+// stream so that days and BSs can be generated independently.
+func (s *Simulator) dayRNG(bsIdx, day int) *rand.Rand {
+	return BSDayRNG(s.Config.Seed, bsIdx, day)
 }
 
 // GenerateDay synthesizes all sessions established at the BS (by

@@ -137,6 +137,17 @@ func (c *Collector) Observe(s netsim.Session) error {
 	return nil
 }
 
+// TotalSessions returns the number of sessions observed across every
+// statistics cell — the campaign's grand total w, used e.g. to gauge
+// how much of a workload survived an injected-fault run.
+func (c *Collector) TotalSessions() float64 {
+	var total float64
+	for _, st := range c.stats {
+		total += st.Sessions
+	}
+	return total
+}
+
 // Get returns the statistics cell for a key, if present.
 func (c *Collector) Get(key StatKey) (*DayStats, bool) {
 	st, ok := c.stats[key]

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"mobiletraffic/internal/faults"
 	"mobiletraffic/internal/netsim"
 )
 
@@ -106,5 +107,131 @@ func TestMergeValidation(t *testing.T) {
 	c.VolumeEdges = c.VolumeEdges[:len(c.VolumeEdges)-1]
 	if err := a.Merge(c); err == nil {
 		t.Error("grid mismatch must error")
+	}
+}
+
+// TestMergeEmptyPartials verifies that folding in collectors that never
+// observed a session is a no-op: a real campaign always has idle
+// gateway sites, and after a fault-injected one it may have many.
+func TestMergeEmptyPartials(t *testing.T) {
+	dst, err := NewCollector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Observe(netsim.Session{Service: 1, BS: 0, Day: 0, Minute: 10, Volume: 1e5, Duration: 30}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		empty, err := NewCollector(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.Merge(empty); err != nil {
+			t.Fatalf("merging empty partial %d: %v", i, err)
+		}
+	}
+	if got := len(dst.Keys()); got != 1 {
+		t.Fatalf("empty merges changed the cell count to %d", got)
+	}
+	st, _ := dst.Get(dst.Keys()[0])
+	if st.Sessions != 1 {
+		t.Fatalf("sessions = %v after empty merges", st.Sessions)
+	}
+	// Merging into a fresh collector also works in the other direction.
+	fresh, err := NewCollector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Merge(dst); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Keys()) != 1 {
+		t.Fatal("merge into empty collector lost the cell")
+	}
+}
+
+// TestMergeAfterFaults verifies the map-reduce layout survives fault
+// injection: partial collectors fed through per-cell fault streams
+// merge to exactly the serial fault-injected campaign, even when some
+// partials end up with disjoint or empty cell sets.
+func TestMergeAfterFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{Days: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faults.Config{
+		OutageProb: 0.3, TruncatedDayProb: 0.3, FlowLossProb: 0.1,
+		FlowDupProb: 0.05, SignalGapProb: 0.05, MisclassProb: 0.03, Seed: 21,
+	}
+	collect := func(bs int, inj *faults.Injector, coll *Collector) {
+		t.Helper()
+		stream := inj.Day(bs, 0)
+		if stream.Down() {
+			return
+		}
+		if err := sim.GenerateDay(bs, 0, func(s netsim.Session) {
+			stream.Apply(s, func(s netsim.Session) {
+				if err := coll.Observe(s); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serial reference.
+	injSer, err := faults.New(cfg, len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewCollector(len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bs := 0; bs < 10; bs++ {
+		collect(bs, injSer, serial)
+	}
+	// Partials: one collector per BS, merged afterwards.
+	injPar, err := faults.New(cfg, len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := NewCollector(len(sim.Services))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bs := 0; bs < 10; bs++ {
+		part, err := NewCollector(len(sim.Services))
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect(bs, injPar, part)
+		if err := merged.Merge(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if injSer.Stats() != injPar.Stats() {
+		t.Fatalf("fault realizations differ: %+v vs %+v", injSer.Stats(), injPar.Stats())
+	}
+	sk, mk := serial.Keys(), merged.Keys()
+	if len(sk) != len(mk) {
+		t.Fatalf("cell counts differ: %d vs %d", len(sk), len(mk))
+	}
+	for _, key := range sk {
+		a, _ := serial.Get(key)
+		b, ok := merged.Get(key)
+		if !ok {
+			t.Fatalf("merged missing cell %+v", key)
+		}
+		if a.Sessions != b.Sessions {
+			t.Fatalf("cell %+v sessions %v vs %v", key, a.Sessions, b.Sessions)
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the format-sniffing trace reader.
+// Traces come from the command line (`sessiongen` output piped through
+// other tools), so a malformed or truncated file must produce an error
+// or an empty result — never a panic. Successfully parsed records must
+// additionally pass Validate, since that is the reader's contract.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(strings.Join(Header, ",") + "\n0,web,100,2,50\n"))
+	f.Add([]byte("0,web,100,2,50\n1.5,video,2e6,30,66666.7\n"))
+	f.Add([]byte(`{"time_s":0,"service":"web","bytes":100,"duration_s":2,"throughput_bps":50}` + "\n"))
+	f.Add([]byte("{"))
+	f.Add([]byte("{}"))
+	f.Add([]byte("0,web,NaN,2,50\n"))
+	f.Add([]byte("0,web,100,-2,50\n"))
+	f.Add([]byte(",,,,\n"))
+	f.Add([]byte("\xff\xfe0,web,100,2,50"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, rec := range records {
+			if vErr := rec.Validate(); vErr != nil {
+				t.Errorf("record %d parsed without error but fails Validate: %v", i, vErr)
+			}
+		}
+	})
+}
+
+// FuzzReadCSV targets the CSV row parser directly with a fixed prefix
+// so the fuzzer spends its budget on field-level corruption instead of
+// format sniffing.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("0,web,100,2,50")
+	f.Add("abc,web,100,2,50")
+	f.Add("0,web,1e309,2,50")
+	f.Add(`"0","we""b",100,2,50`)
+	f.Add("0,web,100,2")
+	f.Fuzz(func(t *testing.T, row string) {
+		records, err := Read(strings.NewReader(row + "\n"))
+		if err != nil {
+			return
+		}
+		for i, rec := range records {
+			if vErr := rec.Validate(); vErr != nil {
+				t.Errorf("record %d parsed without error but fails Validate: %v", i, vErr)
+			}
+		}
+	})
+}
+
+// FuzzReadJSON targets the JSON-lines decoder: every line that decodes
+// must validate, and garbage must error cleanly.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"time_s":0,"service":"web","bytes":100,"duration_s":2,"throughput_bps":50}`)
+	f.Add(`{"time_s":-1}`)
+	f.Add(`{"bytes":1e999}`)
+	f.Add(`{"service":""}{"service":""}`)
+	f.Add(`{"time_s":0,"service":"web","bytes":100,"duration_s":2,"throughput_bps":50}{`)
+	f.Fuzz(func(t *testing.T, line string) {
+		// Force the JSON path regardless of the fuzzed first byte.
+		data := "{" + strings.TrimPrefix(line, "{")
+		records, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, rec := range records {
+			if vErr := rec.Validate(); vErr != nil {
+				t.Errorf("record %d parsed without error but fails Validate: %v", i, vErr)
+			}
+		}
+	})
+}

@@ -37,6 +37,7 @@ import (
 	"io"
 
 	"mobiletraffic/internal/core"
+	"mobiletraffic/internal/faults"
 	"mobiletraffic/internal/netsim"
 	"mobiletraffic/internal/probe"
 	"mobiletraffic/internal/services"
@@ -67,6 +68,15 @@ type (
 	// ServiceProfile is a ground-truth service description used by the
 	// bundled measurement simulator.
 	ServiceProfile = services.Profile
+	// FitReport accounts for every service a graceful-degradation fit
+	// skipped or modeled with a fallback.
+	FitReport = core.FitReport
+	// FitIssue is one skipped or degraded service in a FitReport.
+	FitIssue = core.FitIssue
+	// FaultConfig sets measurement-plane fault intensities for
+	// FitFromSimulationFaulty (probe outages, truncated days, record
+	// loss/duplication, signaling gaps, misclassification bursts).
+	FaultConfig = faults.Config
 )
 
 // NewGenerator validates a model set and returns a deterministic
@@ -118,6 +128,20 @@ type SimulationConfig struct {
 // complete §5 model set on it: per-service volume mixtures and power
 // laws plus per-decile arrival models.
 func FitFromSimulation(cfg SimulationConfig) (*ModelSet, error) {
+	set, _, err := FitFromSimulationFaulty(cfg, FaultConfig{})
+	return set, err
+}
+
+// FitFromSimulationFaulty is FitFromSimulation with measurement-plane
+// faults injected between the simulated sessions and the probe
+// collector: BS-day outages, truncated days, gateway record loss and
+// duplication, signaling gaps and classifier misclassification bursts,
+// all seeded by f.Seed. The models are then fitted with the
+// graceful-degradation pipeline, so a partial ModelSet plus a FitReport
+// listing every skipped or fallback-fitted service is returned even
+// when faults starve part of the catalog. A zero FaultConfig collects a
+// pristine campaign.
+func FitFromSimulationFaulty(cfg SimulationConfig, f FaultConfig) (*ModelSet, *FitReport, error) {
 	if cfg.NumBS <= 0 {
 		cfg.NumBS = 40
 	}
@@ -126,38 +150,45 @@ func FitFromSimulation(cfg SimulationConfig) (*ModelSet, error) {
 	}
 	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: cfg.NumBS, Seed: cfg.Seed})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{
 		Days: cfg.Days, Seed: cfg.Seed, MoveProb: cfg.MoveProb,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	inj, err := faults.New(f, len(sim.Services))
+	if err != nil {
+		return nil, nil, err
 	}
 	coll, err := probe.NewCollector(len(sim.Services))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var obsErr error
-	if err := sim.GenerateAll(func(s netsim.Session) {
+	yield := inj.Wrap(func(s netsim.Session) {
 		if obsErr == nil {
 			obsErr = coll.Observe(s)
 		}
-	}); err != nil {
-		return nil, err
+	})
+	if err := sim.GenerateAll(yield); err != nil {
+		return nil, nil, err
 	}
 	if obsErr != nil {
-		return nil, obsErr
+		return nil, nil, obsErr
 	}
-	set, err := core.FitServiceModels(coll, sim.Services, nil)
+	set, report, err := core.FitServiceModelsReport(coll, sim.Services, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	set.Arrivals, err = core.FitArrivalsByDecile(coll, topo)
+	arrivals, arrReport, err := core.FitArrivalsByDecileReport(coll, topo)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return set, nil
+	set.Arrivals = arrivals
+	report.Merge(arrReport)
+	return set, report, nil
 }
 
 // SessionObservation is one measured transport-layer session, the input

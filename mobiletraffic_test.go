@@ -133,3 +133,48 @@ func TestFitFromObservationsValidation(t *testing.T) {
 		t.Error("zero volume must error")
 	}
 }
+
+func TestFitFromSimulationFaulty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	set, report, err := FitFromSimulationFaulty(
+		SimulationConfig{NumBS: 12, Days: 2, Seed: 3},
+		FaultConfig{
+			OutageProb: 0.2, TruncatedDayProb: 0.1, FlowLossProb: 0.05,
+			FlowDupProb: 0.02, SignalGapProb: 0.03, MisclassProb: 0.02, Seed: 9,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Services) == 0 {
+		t.Fatal("no services fitted under acceptance faults")
+	}
+	if report == nil || report.Fitted == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if err := set.Validate(); err != nil {
+		t.Errorf("fault-fitted set must still validate: %v", err)
+	}
+	// A pristine fault config must reproduce FitFromSimulation exactly.
+	clean, cleanReport, err := FitFromSimulationFaulty(SimulationConfig{NumBS: 12, Days: 2, Seed: 3}, FaultConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := FitFromSimulation(SimulationConfig{NumBS: 12, Days: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Services) != len(direct.Services) {
+		t.Fatalf("zero-fault fit modeled %d services, direct fit %d", len(clean.Services), len(direct.Services))
+	}
+	for i := range clean.Services {
+		a, b := clean.Services[i], direct.Services[i]
+		if a.Name != b.Name || a.Volume.MainMu != b.Volume.MainMu || a.Duration.Beta != b.Duration.Beta {
+			t.Fatalf("zero-fault fit differs from direct fit at %s", a.Name)
+		}
+	}
+	if cleanReport.Degraded() {
+		t.Errorf("pristine campaign reported degradation: %s", cleanReport.Summary())
+	}
+}
