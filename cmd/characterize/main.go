@@ -15,6 +15,7 @@ import (
 
 	"mobiletraffic/internal/experiments"
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/probe"
 )
 
@@ -26,8 +27,21 @@ func main() {
 		services = flag.String("services", "Netflix,Twitch,Deezer,Amazon,Pokemon GO,Waze",
 			"comma-separated services to characterize")
 		deciles = flag.String("deciles", "0,3,6,9", "comma-separated BS load deciles for arrival PDFs")
+		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
+
+	// The registry must be installed before NewEnv builds the pipeline:
+	// components cache their metric handles at construction.
+	if *mAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		addr, err := obs.Serve(*mAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof on %s\n", addr)
+	}
 
 	fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days)...\n", *numBS, *days)
 	env, err := experiments.NewEnv(experiments.Config{NumBS: *numBS, Days: *days, Seed: *seed})

@@ -14,9 +14,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"mobiletraffic/internal/experiments"
+	"mobiletraffic/internal/obs"
 )
 
 func main() {
@@ -31,6 +36,11 @@ func main() {
 		rus      = flag.Int("rus", 5, "radio units per edge site in the vRAN study")
 		hours    = flag.Int("hours", 4, "emulated hours in the vRAN study")
 		format   = flag.String("format", "table", "output format: table or csv")
+		verbose  = flag.Bool("v", false, "print per-experiment timing and stage-span summaries to stderr")
+		mAddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /spans, /trace and /debug/pprof on this address (e.g. :9090)")
+		mHold    = flag.Bool("metrics-hold", false, "after the run, keep serving -metrics-addr until interrupted")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	switch *format {
@@ -41,6 +51,51 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q", *format))
 	}
 
+	// Instrumentation must be installed before the pipeline components
+	// are constructed: metric handles are resolved once at construction
+	// and stay no-ops if the registry appears later.
+	var reg *obs.Registry
+	if *verbose || *mAddr != "" || *cpuProf != "" || *memProf != "" {
+		reg = obs.NewRegistry()
+		obs.SetDefault(reg)
+	}
+	if *mAddr != "" {
+		addr, err := obs.Serve(*mAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof on %s\n", addr)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		atExit(func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memProf != "" {
+		path := *memProf
+		atExit(func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		})
+	}
+	defer runExitHooks()
+
 	want := flag.Args()
 	if len(want) == 0 {
 		want = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
@@ -49,11 +104,19 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days, seed %d)...\n", *numBS, *days, *seed)
+	envStart := time.Now()
 	env, err := experiments.NewEnv(experiments.Config{
 		NumBS: *numBS, Days: *days, Seed: *seed, MoveProb: *moveProb,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *verbose {
+		line := fmt.Sprintf("environment: %s", time.Since(envStart).Round(time.Millisecond))
+		if reg != nil {
+			line += " [spans: " + obs.FormatSpanTotals(obs.SummarizeSpans(reg.SpanRecords())) + "]"
+		}
+		fmt.Fprintln(os.Stderr, line)
 	}
 	fmt.Fprintf(os.Stderr, "modeled %d services\n\n", len(env.Models.Services))
 
@@ -61,6 +124,11 @@ func main() {
 	vrCfg := experiments.VRANConfig{ESs: *ess, RUsPerES: *rus, Hours: *hours, Seed: *seed}
 
 	for _, name := range want {
+		expStart := time.Now()
+		spansBefore := 0
+		if reg != nil {
+			spansBefore = len(reg.SpanRecords())
+		}
 		switch strings.ToLower(name) {
 		case "fig3":
 			r, err := experiments.ExpFig3(env)
@@ -144,7 +212,34 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
+		if *verbose {
+			line := fmt.Sprintf("%s: %s", strings.ToLower(name), time.Since(expStart).Round(time.Millisecond))
+			if reg != nil {
+				recs := reg.SpanRecords()
+				line += " [spans: " + obs.FormatSpanTotals(obs.SummarizeSpans(recs[spansBefore:])) + "]"
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
+	if *mAddr != "" && *mHold {
+		fmt.Fprintf(os.Stderr, "metrics: run finished, holding %s open (ctrl-c to exit)\n", *mAddr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// exitHooks are cleanups (profile flushes) that must run even when the
+// process exits through fatal(), which bypasses deferred calls.
+var exitHooks []func()
+
+func atExit(f func()) { exitHooks = append(exitHooks, f) }
+
+func runExitHooks() {
+	for i := len(exitHooks) - 1; i >= 0; i-- {
+		exitHooks[i]()
+	}
+	exitHooks = nil
 }
 
 // tabler is any experiment result that renders as a Table.
@@ -166,6 +261,7 @@ func render(r tabler, err error) {
 }
 
 func fatal(err error) {
+	runExitHooks()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"mobiletraffic/internal/obs"
 )
 
 // ServiceModel is the complete released model of one service (§5.4):
@@ -87,6 +89,8 @@ func (s *ModelSet) ByName(name string) (*ServiceModel, error) {
 // file that fails Validate would produce NaN volumes or unsampleable
 // distributions, so loaders should reject it outright.
 func (s *ModelSet) Validate() error {
+	span := obs.StartSpan("validate")
+	defer span.End()
 	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 	var problems []string
 	bad := func(format string, args ...interface{}) {

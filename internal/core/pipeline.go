@@ -6,6 +6,7 @@ import (
 
 	"mobiletraffic/internal/dist"
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/probe"
 	"mobiletraffic/internal/services"
 )
@@ -67,6 +68,13 @@ func FitServiceModels(c *probe.Collector, catalog []services.Profile, opts *FitO
 // account of what degraded. An error is returned only when the inputs
 // are structurally invalid or no service at all could be modeled.
 func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts *FitOptions) (*ModelSet, *FitReport, error) {
+	span := obs.StartSpan("fit/services")
+	defer span.End()
+	// Pre-register the degradation counters so a clean run still
+	// exposes them at zero — dashboards alert on these going nonzero,
+	// which only works if the series exists beforehand.
+	obs.CounterOf("fit_fallbacks_total")
+	obs.CounterOf("fit_skipped_total")
 	o := opts.withDefaults()
 	if c == nil {
 		return nil, nil, fmt.Errorf("core: nil collector")
@@ -91,7 +99,9 @@ func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts
 	report := &FitReport{}
 	for svc := range catalog {
 		name := catalog[svc].Name
+		aggSpan := span.Child("aggregate", "service", name)
 		hist, weight, err := c.AggregateVolume(withFilter(svc))
+		aggSpan.End()
 		if err != nil {
 			report.skip(name, "sessions", err)
 			continue
@@ -101,7 +111,9 @@ func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts
 				fmt.Errorf("%.0f sessions below the %.0f aggregation floor", weight, o.MinSessions))
 			continue
 		}
+		volSpan := span.Child("fit/volume", "service", name)
 		vm, err := FitVolumeModel(hist, o.Volume)
+		volSpan.End()
 		if err != nil {
 			// The mixture fit diverged; a single log-normal over the
 			// same histogram still captures the main trend.
@@ -123,7 +135,9 @@ func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts
 			report.skip(name, "pairs", err)
 			continue
 		}
+		durSpan := span.Child("fit/duration", "service", name)
 		dm, err := FitDurationModel(durations, values, counts)
+		durSpan.End()
 		if err != nil {
 			fb, fbErr := fallbackDurationModel(durations, values, counts)
 			if fbErr != nil {
@@ -142,6 +156,12 @@ func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts
 			DurationNoise: o.DurationNoise,
 		})
 		report.Fitted++
+		obs.CounterOf("fit_services_fitted_total").Inc()
+		// Per-service fit-quality gauges: the §5.4 EMD of the volume
+		// mixture and the R² of the duration power law — the numbers
+		// FitReport consumers audit, exposed live for drift alerts.
+		obs.GaugeOf("fit_volume_emd", "service", name).Set(emd)
+		obs.GaugeOf("fit_duration_r2", "service", name).Set(dm.R2)
 	}
 	if len(set.Services) == 0 {
 		return nil, report, fmt.Errorf("core: no service could be modeled (%d skipped)", len(report.Skipped))
@@ -221,6 +241,8 @@ func FitArrivalsByDecile(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalM
 // returned FitReport. An error is returned only when no decile at all
 // could be fitted.
 func FitArrivalsByDecileReport(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalModel, *FitReport, error) {
+	span := obs.StartSpan("fit/arrivals")
+	defer span.End()
 	if c == nil || topo == nil {
 		return nil, nil, fmt.Errorf("core: nil collector or topology")
 	}

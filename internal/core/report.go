@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"mobiletraffic/internal/obs"
 )
 
 // Graceful-degradation accounting for the fitting pipeline. On real
@@ -52,18 +54,27 @@ type FitReport struct {
 	Warnings []string `json:"warnings,omitempty"`
 }
 
+// The accumulators double as the instrumentation taps of the
+// graceful-degradation pipeline: every recorded issue also bumps the
+// corresponding fit_* counter (no-ops when instrumentation is
+// disabled), so exposition always agrees with the FitReports handed
+// to callers.
+
 func (r *FitReport) skip(service, stage string, err error) {
 	r.Skipped = append(r.Skipped, FitIssue{Service: service, Stage: stage, Err: errString(err)})
+	obs.CounterOf("fit_skipped_total").Inc()
 }
 
 func (r *FitReport) fallback(service, stage, fallback string, err error) {
 	r.Fallbacks = append(r.Fallbacks, FitIssue{
 		Service: service, Stage: stage, Fallback: fallback, Err: errString(err),
 	})
+	obs.CounterOf("fit_fallbacks_total").Inc()
 }
 
 func (r *FitReport) warn(format string, args ...interface{}) {
 	r.Warnings = append(r.Warnings, fmt.Sprintf(format, args...))
+	obs.CounterOf("fit_warnings_total").Inc()
 }
 
 func errString(err error) string {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobiletraffic/internal/obs"
+)
+
+func TestFitIssueString(t *testing.T) {
+	skip := FitIssue{Service: "Netflix", Stage: "volume", Err: "diverged"}
+	if got, want := skip.String(), "Netflix: skipped at volume stage (diverged)"; got != want {
+		t.Errorf("skip String() = %q, want %q", got, want)
+	}
+	fb := FitIssue{Service: "Waze", Stage: "duration", Fallback: "constant-throughput power law", Err: "singular"}
+	if got, want := fb.String(), "Waze: duration fit degraded to constant-throughput power law (singular)"; got != want {
+		t.Errorf("fallback String() = %q, want %q", got, want)
+	}
+}
+
+func TestFitReportAccumulators(t *testing.T) {
+	r := &FitReport{}
+	if r.Degraded() {
+		t.Error("empty report reports degraded")
+	}
+	r.skip("Netflix", "sessions", errors.New("too few"))
+	r.fallback("Twitch", "volume", "single log-normal", errors.New("diverged"))
+	r.warn("no EMD for %s: %v", "Deezer", errors.New("empty hist"))
+	r.skip("Deezer", "pairs", nil)
+
+	if len(r.Skipped) != 2 || len(r.Fallbacks) != 1 || len(r.Warnings) != 1 {
+		t.Fatalf("accumulators = %d/%d/%d skipped/fallbacks/warnings, want 2/1/1",
+			len(r.Skipped), len(r.Fallbacks), len(r.Warnings))
+	}
+	if !r.Degraded() {
+		t.Error("degraded report reports clean")
+	}
+	// skip with a nil error must not render a literal "<nil>".
+	if r.Skipped[1].Err != "" {
+		t.Errorf("nil-error skip recorded Err = %q, want empty", r.Skipped[1].Err)
+	}
+	if got, want := r.Warnings[0], "no EMD for Deezer: empty hist"; got != want {
+		t.Errorf("warn formatting = %q, want %q", got, want)
+	}
+}
+
+func TestFitReportMerge(t *testing.T) {
+	r := &FitReport{Fitted: 3}
+	r.skip("A", "sessions", errors.New("x"))
+	other := &FitReport{Fitted: 9}
+	other.fallback("decile 4", "arrivals", "nearest class (decile 3)", nil)
+	other.skip("decile 7", "arrivals", errors.New("dark"))
+	other.warn("w1")
+
+	r.Merge(other)
+	if r.Fitted != 12 {
+		t.Errorf("merged Fitted = %d, want 12", r.Fitted)
+	}
+	if len(r.Skipped) != 2 || len(r.Fallbacks) != 1 || len(r.Warnings) != 1 {
+		t.Errorf("merged issues = %d/%d/%d skipped/fallbacks/warnings, want 2/1/1",
+			len(r.Skipped), len(r.Fallbacks), len(r.Warnings))
+	}
+	// Order must be preserved: own issues first, merged ones appended.
+	if r.Skipped[0].Service != "A" || r.Skipped[1].Service != "decile 7" {
+		t.Errorf("merge reordered skips: %v", r.Skipped)
+	}
+
+	// Merging nil is a no-op, not a panic.
+	before := *r
+	r.Merge(nil)
+	if r.Fitted != before.Fitted || len(r.Skipped) != len(before.Skipped) {
+		t.Error("Merge(nil) changed the report")
+	}
+}
+
+func TestServiceSkipsExcludesArrivalClasses(t *testing.T) {
+	r := &FitReport{}
+	r.skip("Netflix", "sessions", errors.New("x"))
+	r.skip("decile 2", "arrivals", errors.New("dark"))
+	r.skip("Waze", "duration", errors.New("y"))
+	if got := r.ServiceSkips(); got != 2 {
+		t.Errorf("ServiceSkips() = %d, want 2 (arrival classes excluded)", got)
+	}
+}
+
+func TestDegradedServicesSortedDeduped(t *testing.T) {
+	r := &FitReport{}
+	r.skip("Waze", "sessions", nil)
+	r.fallback("Netflix", "volume", "single log-normal", nil)
+	r.fallback("Waze", "duration", "constant-throughput power law", nil)
+	r.skip("Amazon", "pairs", nil)
+	got := r.DegradedServices()
+	want := []string{"Amazon", "Netflix", "Waze"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DegradedServices() = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryOrdering(t *testing.T) {
+	r := &FitReport{Fitted: 5}
+	r.warn("late warning")
+	r.skip("S", "sessions", errors.New("e1"))
+	r.fallback("F", "volume", "single log-normal", errors.New("e2"))
+
+	s := r.Summary()
+	lines := strings.Split(s, "\n")
+	if !strings.HasPrefix(lines[0], "fitted 5, fallbacks 1, skipped 1, warnings 1") {
+		t.Errorf("summary head = %q", lines[0])
+	}
+	// Digest first, then fallbacks, then skips, then warnings —
+	// regardless of recording order.
+	iFb := strings.Index(s, "F: volume fit degraded")
+	iSk := strings.Index(s, "S: skipped at sessions")
+	iWn := strings.Index(s, "warning: late warning")
+	if iFb < 0 || iSk < 0 || iWn < 0 || !(iFb < iSk && iSk < iWn) {
+		t.Errorf("summary section order wrong:\n%s", s)
+	}
+}
+
+func TestReportCountersMatchAccumulators(t *testing.T) {
+	old := obs.Default()
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	defer obs.SetDefault(old)
+
+	r := &FitReport{}
+	for i := 0; i < 3; i++ {
+		r.skip(fmt.Sprintf("s%d", i), "sessions", errors.New("x"))
+	}
+	r.fallback("f", "volume", "single log-normal", nil)
+	r.warn("w")
+
+	if got := reg.Counter("fit_skipped_total").Value(); got != 3 {
+		t.Errorf("fit_skipped_total = %d, want 3", got)
+	}
+	if got := reg.Counter("fit_fallbacks_total").Value(); got != 1 {
+		t.Errorf("fit_fallbacks_total = %d, want 1", got)
+	}
+	if got := reg.Counter("fit_warnings_total").Value(); got != 1 {
+		t.Errorf("fit_warnings_total = %d, want 1", got)
+	}
+}

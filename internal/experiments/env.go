@@ -10,6 +10,7 @@ import (
 
 	"mobiletraffic/internal/core"
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/probe"
 	"mobiletraffic/internal/services"
 )
@@ -58,6 +59,7 @@ type Env struct {
 // experiment drivers need.
 func NewEnv(cfg Config) (*Env, error) {
 	c := cfg.withDefaults()
+	simSpan := obs.StartSpan("simulate")
 	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: c.NumBS, Seed: c.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: topology: %w", err)
@@ -67,10 +69,11 @@ func NewEnv(cfg Config) (*Env, error) {
 		Seed:     c.Seed,
 		MoveProb: c.MoveProb,
 	})
+	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: simulator: %w", err)
 	}
-	coll, err := collectParallel(sim, c.Days)
+	coll, err := collect(sim, c.Days, nil)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: collect: %w", err)
 	}

@@ -3,12 +3,23 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"mobiletraffic/internal/faults"
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/probe"
 )
+
+// bsTask is one unit of campaign work: a base-station index, stamped
+// at enqueue time when instrumentation is on so workers can report
+// how long tasks sat in the queue.
+type bsTask struct {
+	bs       int
+	enqueued time.Time
+}
 
 // forEachBS fans the base-station indices [0, numBS) out to workers
 // and runs work(worker, bs) for each. A worker that hits an error
@@ -16,24 +27,47 @@ import (
 // instead, a campaign where every worker fails early would leave the
 // feeder blocked on `tasks <- bs` forever. The first error of the
 // lowest-numbered failing worker is returned.
+//
+// When instrumentation is enabled, each dequeue reports its queue
+// wait to collect_queue_wait_seconds and each completed BS bumps the
+// worker's collect_bs_total{worker=...} counter.
 func forEachBS(numBS, workers int, work func(worker, bs int) error) error {
-	tasks := make(chan int)
+	instrumented := obs.Enabled()
+	var queueWait *obs.Histogram
+	if instrumented {
+		queueWait = obs.HistogramOf("collect_queue_wait_seconds", obs.DefBucketsSeconds)
+	}
+	tasks := make(chan bsTask)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for bs := range tasks {
+			var done *obs.Counter
+			if instrumented {
+				done = obs.CounterOf("collect_bs_total", "worker", strconv.Itoa(w))
+			}
+			for task := range tasks {
+				if !task.enqueued.IsZero() {
+					queueWait.Observe(time.Since(task.enqueued).Seconds())
+				}
 				if errs[w] != nil {
 					continue // drain so the feeder never blocks
 				}
-				errs[w] = work(w, bs)
+				errs[w] = work(w, task.bs)
+				if errs[w] == nil {
+					done.Inc()
+				}
 			}
 		}(w)
 	}
 	for bs := 0; bs < numBS; bs++ {
-		tasks <- bs
+		task := bsTask{bs: bs}
+		if instrumented {
+			task.enqueued = time.Now()
+		}
+		tasks <- task
 	}
 	close(tasks)
 	wg.Wait()
@@ -45,22 +79,23 @@ func forEachBS(numBS, workers int, work func(worker, bs int) error) error {
 	return nil
 }
 
-// collectParallel runs the measurement campaign with one worker per
-// CPU: each worker simulates whole base stations into its own collector
-// and the partial collectors are merged afterwards. The per-(BS, day)
-// random streams of the simulator are independent, and merging is
+// collect runs the measurement campaign with one worker per CPU: each
+// worker simulates whole base stations into its own collector and the
+// partial collectors are merged afterwards. The per-(BS, day) random
+// streams of the simulator are independent, and merging is
 // order-insensitive, so the result is bit-identical to a serial run.
-func collectParallel(sim *netsim.Simulator, days int) (*probe.Collector, error) {
-	return collectFaulty(sim, days, nil)
-}
-
-// collectFaulty is collectParallel with an optional fault injector
-// composed over the measurement plane: every session of a (BS, day)
-// cell is routed through that cell's deterministic fault stream before
-// reaching the worker's collector, and cells hit by a whole-day probe
-// outage skip session generation entirely. A nil injector collects a
-// pristine campaign.
-func collectFaulty(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Collector, error) {
+//
+// An optional fault injector is composed over the measurement plane:
+// every session of a (BS, day) cell is routed through that cell's
+// deterministic fault stream before reaching the worker's collector,
+// and cells hit by a whole-day probe outage skip session generation
+// entirely. A nil injector collects a pristine campaign. Fault
+// streams are derived per cell from the injector's own seed, so
+// realizations are identical regardless of worker count — and of
+// whether instrumentation is enabled.
+func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Collector, error) {
+	span := obs.StartSpan("collect")
+	defer span.End()
 	numBS := len(sim.Topo.BSs)
 	workers := runtime.NumCPU()
 	if workers > numBS {
@@ -78,7 +113,15 @@ func collectFaulty(sim *netsim.Simulator, days int, inj *faults.Injector) (*prob
 		}
 		partials[w] = coll
 	}
+	workerSpans := make([]*obs.Span, workers)
 	err := forEachBS(numBS, workers, func(w, bs int) error {
+		if workerSpans[w] == nil {
+			// One span per worker covering its whole share of the
+			// campaign, on its own trace track (tid 1+w).
+			s := span.Child("collect/worker", "worker", strconv.Itoa(w))
+			s.SetTID(1 + w)
+			workerSpans[w] = s
+		}
 		for day := 0; day < days; day++ {
 			var stream *faults.DayStream
 			if inj != nil {
@@ -106,9 +149,14 @@ func collectFaulty(sim *netsim.Simulator, days int, inj *faults.Injector) (*prob
 		}
 		return nil
 	})
+	for _, s := range workerSpans {
+		s.End()
+	}
 	if err != nil {
 		return nil, err
 	}
+	mergeSpan := span.Child("aggregate/merge")
+	defer mergeSpan.End()
 	out := partials[0]
 	for _, p := range partials[1:] {
 		if err := out.Merge(p); err != nil {

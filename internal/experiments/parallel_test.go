@@ -105,7 +105,7 @@ func TestCollectFaultyMatchesSerialInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := collectFaulty(sim, days, injPar)
+	par, err := collect(sim, days, injPar)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 )
 
 // Config sets the fault intensities. All probabilities are per-unit
@@ -146,6 +147,14 @@ type Injector struct {
 	cfg         Config
 	numServices int
 	stats       Stats
+	// obsKind counts injected faults by kind
+	// (faults_injected_total{kind=...}); handles are resolved once at
+	// construction and are nil (free) when instrumentation is
+	// disabled. They never touch the fault RNG, so realizations are
+	// identical with instrumentation on or off.
+	obsKind struct {
+		outage, truncDay, loss, dup, gap, misclass *obs.Counter
+	}
 }
 
 // New validates the config and builds an injector for a catalog of
@@ -160,7 +169,14 @@ func New(cfg Config, numServices int) (*Injector, error) {
 	if cfg.MeanBurstLen <= 0 {
 		cfg.MeanBurstLen = DefaultMeanBurstLen
 	}
-	return &Injector{cfg: cfg, numServices: numServices}, nil
+	inj := &Injector{cfg: cfg, numServices: numServices}
+	inj.obsKind.outage = obs.CounterOf("faults_injected_total", "kind", "outage_day")
+	inj.obsKind.truncDay = obs.CounterOf("faults_injected_total", "kind", "truncated_day")
+	inj.obsKind.loss = obs.CounterOf("faults_injected_total", "kind", "flow_loss")
+	inj.obsKind.dup = obs.CounterOf("faults_injected_total", "kind", "flow_dup")
+	inj.obsKind.gap = obs.CounterOf("faults_injected_total", "kind", "signal_gap")
+	inj.obsKind.misclass = obs.CounterOf("faults_injected_total", "kind", "misclass")
+	return inj, nil
 }
 
 // Config returns the injector's (validated, defaulted) configuration.
@@ -207,11 +223,13 @@ func (inj *Injector) Day(bs, day int) *DayStream {
 	if d.rng.Float64() < inj.cfg.OutageProb {
 		d.down = true
 		inj.stats.outageDays.Add(1)
+		inj.obsKind.outage.Inc()
 		return d
 	}
 	if d.rng.Float64() < inj.cfg.TruncatedDayProb {
 		d.cutoff = d.rng.Intn(netsim.MinutesPerDay)
 		inj.stats.truncatedDays.Add(1)
+		inj.obsKind.truncDay.Inc()
 	}
 	return d
 }
@@ -243,10 +261,12 @@ func (d *DayStream) Apply(s netsim.Session, emit func(netsim.Session)) {
 	cfg := &d.inj.cfg
 	if cfg.FlowLossProb > 0 && d.rng.Float64() < cfg.FlowLossProb {
 		st.lost.Add(1)
+		d.inj.obsKind.loss.Inc()
 		return
 	}
 	if cfg.SignalGapProb > 0 && d.rng.Float64() < cfg.SignalGapProb {
 		st.unreferenced.Add(1)
+		d.inj.obsKind.gap.Inc()
 		return
 	}
 	if d.burstLeft == 0 && cfg.MisclassProb > 0 &&
@@ -267,12 +287,14 @@ func (d *DayStream) Apply(s netsim.Session, emit func(netsim.Session)) {
 		if d.burstShift != 0 {
 			s.Service = (s.Service + d.burstShift) % d.inj.numServices
 			st.misclassified.Add(1)
+			d.inj.obsKind.misclass.Inc()
 		}
 	}
 	st.emitted.Add(1)
 	emit(s)
 	if cfg.FlowDupProb > 0 && d.rng.Float64() < cfg.FlowDupProb {
 		st.duplicated.Add(1)
+		d.inj.obsKind.dup.Inc()
 		st.emitted.Add(1)
 		emit(s)
 	}

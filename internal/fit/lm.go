@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"mobiletraffic/internal/mathx"
+	"mobiletraffic/internal/obs"
 )
 
 // Model is a parametric scalar function y = f(params, x).
@@ -64,6 +65,23 @@ type LMResult struct {
 	Converged  bool      // true if a tolerance (not MaxIter) stopped the fit
 }
 
+// recordLM reports one finished LM run to the instrumentation layer:
+// the iteration count (fit_lm_iterations), the stop reason
+// (fit_lm_total{reason=...}) and the damping restarts — rejected
+// trial steps that escalated lambda (fit_lm_restarts_total). LM runs
+// at most once per fitted curve, so the registry lookups here are
+// cold-path; with instrumentation disabled Default() is nil and every
+// call below is a no-op on nil handles.
+func recordLM(res *LMResult, reason string, restarts int64) {
+	r := obs.Default()
+	if r == nil {
+		return
+	}
+	r.Histogram("fit_lm_iterations", obs.DefBucketsCount).Observe(float64(res.Iterations))
+	r.Counter("fit_lm_total", "reason", reason).Inc()
+	r.Counter("fit_lm_restarts_total").Add(restarts)
+}
+
 // LM fits model to the observations (xs, ys) by weighted nonlinear
 // least squares starting from p0, using the Levenberg-Marquardt
 // algorithm with a numerically differenced Jacobian.
@@ -112,6 +130,7 @@ func LM(model Model, xs, ys []float64, p0 []float64, opts *LMOptions) (LMResult,
 	pTrial := make([]float64, n)
 	rTrial := make([]float64, m)
 	result := LMResult{Params: p, Cost: cost}
+	var restarts int64
 
 	for iter := 0; iter < o.MaxIter; iter++ {
 		result.Iterations = iter + 1
@@ -148,6 +167,7 @@ func LM(model Model, xs, ys []float64, p0 []float64, opts *LMOptions) (LMResult,
 				delta, err = mathx.SolveGauss(a, neg)
 				if err != nil {
 					lambda *= 10
+					restarts++
 					continue
 				}
 			}
@@ -169,11 +189,13 @@ func LM(model Model, xs, ys []float64, p0 []float64, opts *LMOptions) (LMResult,
 				improved = true
 				if relImprove < o.TolCost || stepNorm < o.TolStep {
 					result.Params, result.Cost, result.Converged = p, cost, true
+					recordLM(&result, "tolerance", restarts)
 					return result, nil
 				}
 				break
 			}
 			lambda *= 10
+			restarts++
 			if lambda > 1e12 {
 				break
 			}
@@ -181,9 +203,11 @@ func LM(model Model, xs, ys []float64, p0 []float64, opts *LMOptions) (LMResult,
 		if !improved {
 			// Damping exhausted: current point is (locally) optimal.
 			result.Params, result.Cost, result.Converged = p, cost, true
+			recordLM(&result, "stalled", restarts)
 			return result, nil
 		}
 	}
 	result.Params, result.Cost = p, cost
+	recordLM(&result, "maxiter", restarts)
 	return result, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/services"
 )
 
@@ -92,6 +93,11 @@ type Simulator struct {
 	// §5.1).
 	baseProbs []float64
 	bsProbs   [][]float64
+	// Workload accounting (netsim_*_total), batched per GenerateDay so
+	// the per-session loop stays atomics-free; nil handles when
+	// instrumentation is disabled.
+	obsSessions *obs.Counter
+	obsSplits   *obs.Counter
 }
 
 // NewSimulator builds a simulator over the topology using the full
@@ -128,10 +134,12 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 		probs[i] = p.SessionSharePct / total
 	}
 	s := &Simulator{
-		Topo:      topo,
-		Config:    c,
-		Services:  profiles,
-		baseProbs: probs,
+		Topo:        topo,
+		Config:      c,
+		Services:    profiles,
+		baseProbs:   probs,
+		obsSessions: obs.CounterOf("netsim_sessions_generated_total"),
+		obsSplits:   obs.CounterOf("netsim_handover_splits_total"),
 	}
 	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
 	s.bsProbs = make([][]float64, len(topo.BSs))
@@ -205,6 +213,7 @@ func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
 	if IsWeekend(day) {
 		weekendScale = s.Config.Weekend
 	}
+	var generated, split int64
 	for minute := 0; minute < MinutesPerDay; minute++ {
 		n := ArrivalCount(bs, minute, rng)
 		if weekendScale != 1 {
@@ -229,6 +238,10 @@ func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
 					truncated = true
 				}
 			}
+			generated++
+			if truncated {
+				split++
+			}
 			yield(Session{
 				BS:        bsIdx,
 				Service:   svc,
@@ -241,6 +254,8 @@ func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
 			})
 		}
 	}
+	s.obsSessions.Add(generated)
+	s.obsSplits.Add(split)
 	return nil
 }
 

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every metric in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges emit one
+// sample; histograms emit cumulative _bucket series plus _sum and
+// _count, matching what a Prometheus scraper expects. Output is
+// deterministic (sorted by name, then label set).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, m := range r.Snapshot() {
+		if m.Name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastFamily = m.Name
+		}
+		var err error
+		switch m.Type {
+		case "histogram":
+			cum := int64(0)
+			for i, b := range m.Buckets {
+				cum += b
+				le := "+Inf"
+				if i < len(m.Bounds) {
+					le = formatFloat(m.Bounds[i])
+				}
+				_, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					m.Name, promLabels(m.Labels, "le", le), cum)
+				if err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", m.Name,
+				promLabels(m.Labels), formatFloat(m.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", m.Name, promLabels(m.Labels), m.Count)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.Name, promLabels(m.Labels), formatFloat(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders a label set as {k="v",...}; extra pairs (e.g.
+// le) are appended after the metric's own labels. Returns "" for an
+// empty set.
+func promLabels(labels []string, extra ...string) string {
+	all := make([]string, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes quotes, backslashes and newlines exactly as the
+		// Prometheus text format requires.
+		fmt.Fprintf(&b, "%s=%q", all[i], all[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteJSON writes the full registry snapshot (metrics + spans) as
+// one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []Metric     `json:"metrics"`
+		Spans   []SpanRecord `json:"spans"`
+	}{r.Snapshot(), r.SpanRecords()})
+}
+
+// Handler returns the observability mux of the registry:
+//
+//	/metrics          Prometheus text format
+//	/metrics.json     JSON snapshot (metrics + spans)
+//	/spans            span log as JSON
+//	/trace            Chrome trace_event export of the span log
+//	/debug/pprof/*    the standard Go profiling endpoints
+//	/debug/vars       expvar
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteSpanJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteTraceEvents(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve installs the registry's Handler on addr and serves it on a
+// background goroutine. It returns after the listener is bound (so a
+// scrape can follow immediately) with the bound address — useful with
+// ":0" — or an error if the address cannot be bound.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

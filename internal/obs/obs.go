@@ -1,0 +1,68 @@
+// Package obs is the dependency-free instrumentation layer of the
+// measurement→fitting pipeline. It provides three things:
+//
+//   - a metrics registry of atomic counters, gauges and fixed-bucket
+//     histograms with label support, striped so the parallel
+//     collector's workers do not contend on a shared cache line;
+//   - stage spans — nestable timed regions covering simulate, collect,
+//     aggregate, fit and validate — exportable as JSON and as Chrome
+//     trace_event format;
+//   - exposition: a Prometheus text-format writer, a JSON snapshot,
+//     and an HTTP handler serving /metrics, /debug/pprof/* and expvar.
+//
+// Instrumentation is off by default: the package-level default
+// registry starts nil, every handle obtained through it is nil, and
+// every method on a nil handle is a single pointer check. Hot paths
+// therefore instrument unconditionally and pay ~zero cost until a
+// binary opts in with SetDefault (e.g. behind a -metrics-addr flag).
+//
+// Handles are resolved once at construction time of the instrumented
+// component (a simulator, a collector, an injector): callers cache
+// the *Counter / *Gauge / *Histogram and increment it directly, so
+// the per-event cost is one striped atomic add and never a map
+// lookup. Components built before SetDefault keep their nil handles —
+// enable the registry before constructing the pipeline.
+package obs
+
+import "sync/atomic"
+
+// defaultReg holds the process-wide registry; nil means disabled.
+var defaultReg atomic.Pointer[Registry]
+
+// Default returns the process-wide registry, or nil when
+// instrumentation is disabled.
+func Default() *Registry { return defaultReg.Load() }
+
+// SetDefault installs r as the process-wide registry (nil disables
+// instrumentation for components constructed afterwards).
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Enabled reports whether a process-wide registry is installed.
+func Enabled() bool { return Default() != nil }
+
+// CounterOf returns the named counter of the default registry (nil —
+// a no-op handle — when instrumentation is disabled). Labels are
+// alternating key, value pairs.
+func CounterOf(name string, labels ...string) *Counter {
+	return Default().Counter(name, labels...)
+}
+
+// GaugeOf returns the named gauge of the default registry (nil when
+// instrumentation is disabled).
+func GaugeOf(name string, labels ...string) *Gauge {
+	return Default().Gauge(name, labels...)
+}
+
+// HistogramOf returns the named histogram of the default registry
+// with the given bucket upper bounds (nil when disabled). The bounds
+// of the first caller win; later callers share the same histogram.
+func HistogramOf(name string, bounds []float64, labels ...string) *Histogram {
+	return Default().Histogram(name, bounds, labels...)
+}
+
+// StartSpan opens a timed region on the default registry. The
+// returned span is nil — and End a no-op — when instrumentation is
+// disabled.
+func StartSpan(name string, labels ...string) *Span {
+	return Default().StartSpan(name, labels...)
+}

@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricKey uniquely identifies one metric instance: its family name
+// plus its serialized label set.
+type metricKey struct {
+	name   string
+	labels string // "k\x00v\x00k\x00v", pairs in caller order
+}
+
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return strings.Join(labels, "\x00")
+}
+
+// Registry holds every metric instance and the span log of one
+// process. The zero value is not usable; call NewRegistry. A nil
+// *Registry is the disabled state: every method is a no-op returning
+// nil handles.
+type Registry struct {
+	start time.Time
+
+	mu       sync.RWMutex
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+
+	spanMu   sync.Mutex
+	spans    []SpanRecord
+	nextSpan atomic.Int64
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the counter of the given
+// family name and label pairs. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey{name, labelKey(labels)}
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{name: name, labels: append([]string(nil), labels...)}
+	c.stripes = make([]stripe, stripeCount)
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge of the given family
+// name and label pairs. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey{name, labelKey(labels)}
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{name: name, labels: append([]string(nil), labels...)}
+	r.gauges[key] = g
+	return g
+}
+
+// DefBucketsSeconds is the default histogram grid for stage
+// durations: 1 ms .. ~100 s, roughly logarithmic.
+var DefBucketsSeconds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// DefBucketsCount is the default histogram grid for small counts
+// (e.g. LM iterations).
+var DefBucketsCount = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Histogram returns (creating on first use) the fixed-bucket
+// histogram of the given family name and label pairs. bounds are the
+// inclusive bucket upper bounds in increasing order; nil takes
+// DefBucketsSeconds. The bounds of the first caller win. Returns nil
+// on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey{name, labelKey(labels)}
+	r.mu.RLock()
+	h, ok := r.hists[key]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[key]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefBucketsSeconds
+	}
+	h = &Histogram{
+		name:    name,
+		labels:  append([]string(nil), labels...),
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1), // +1: overflow (+Inf)
+	}
+	r.hists[key] = h
+	return h
+}
+
+// --- striped counters -------------------------------------------------
+
+// stripe is one cache-line-padded accumulator of a striped counter.
+type stripe struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64 bytes against false sharing
+}
+
+// stripeCount is the number of stripes per counter, a power of two
+// sized to the available parallelism.
+var stripeCount = func() int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return n
+}()
+
+// stripeHint hands out small integers that are stable per P:
+// sync.Pool keeps its free lists per scheduler P, so a worker
+// goroutine keeps drawing the same hint while it stays on its P and
+// concurrent workers draw different ones — exactly the distribution a
+// striped counter wants, with no unsafe tricks.
+var (
+	hintSeq  atomic.Int64
+	hintPool = sync.Pool{New: func() interface{} {
+		h := int(hintSeq.Add(1)) & (stripeCount - 1)
+		return &h
+	}}
+)
+
+func stripeHint() int {
+	p := hintPool.Get().(*int)
+	h := *p
+	hintPool.Put(p)
+	return h
+}
+
+// Counter is a monotonically increasing striped atomic counter. All
+// methods are safe on a nil receiver (the disabled state) and for
+// concurrent use.
+type Counter struct {
+	name    string
+	labels  []string
+	stripes []stripe
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeHint()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the counter's current total (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for i := range c.stripes {
+		sum += c.stripes[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a last-value-wins float64 metric. All methods are safe on
+// a nil receiver and for concurrent use.
+type Gauge struct {
+	name   string
+	labels []string
+	bits   atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (Prometheus
+// cumulative-on-export convention: bucket i stores observations with
+// v <= bounds[i]; the last bucket is +Inf). All methods are safe on a
+// nil receiver and for concurrent use.
+type Histogram struct {
+	name    string
+	labels  []string
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// --- snapshotting -----------------------------------------------------
+
+// Metric is one metric instance in a registry snapshot.
+type Metric struct {
+	Name   string   `json:"name"`
+	Type   string   `json:"type"` // "counter", "gauge" or "histogram"
+	Labels []string `json:"labels,omitempty"`
+	// Value holds the counter total or gauge value.
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"` // per-bucket (non-cumulative) counts
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+}
+
+// Snapshot returns every metric instance, sorted by name then label
+// set, so output is deterministic. Nil registries snapshot empty.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counters {
+		out = append(out, Metric{
+			Name: c.name, Type: "counter", Labels: c.labels, Value: float64(c.Value()),
+		})
+	}
+	for _, g := range r.gauges {
+		out = append(out, Metric{Name: g.name, Type: "gauge", Labels: g.labels, Value: g.Value()})
+	}
+	for _, h := range r.hists {
+		m := Metric{
+			Name: h.name, Type: "histogram", Labels: h.labels,
+			Bounds: h.bounds, Count: h.Count(), Sum: h.Sum(),
+		}
+		m.Buckets = make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			m.Buckets[i] = h.buckets[i].Load()
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", nil) != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	if r.StartSpan("x") != nil {
+		t.Fatal("nil registry must hand out nil spans")
+	}
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("nil registry snapshot = %v", got)
+	}
+	// Every hot-path method must be a no-op on nil handles.
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram stats")
+	}
+	var s *Span
+	s.End()
+	s.SetTID(1)
+	if s.Child("y") != nil {
+		t.Fatal("nil span child")
+	}
+}
+
+func TestCounterMemoization(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", "service", "Netflix")
+	b := r.Counter("reqs", "service", "Netflix")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	if c := r.Counter("reqs", "service", "Twitch"); c == a {
+		t.Fatal("different labels must return a different counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := a.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+}
+
+func TestConcurrentCounterExactness(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	const workers, perWorker = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("lost increments: got %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("emd", "service", "Netflix")
+	g.Set(0.25)
+	if got := g.Value(); got != 0.25 {
+		t.Fatalf("gauge = %v", got)
+	}
+	g.Add(0.75)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge after add = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iters", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1053.5 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	var m Metric
+	for _, s := range r.Snapshot() {
+		if s.Name == "iters" {
+			m = s
+		}
+	}
+	// v <= 1: {0.5, 1}; 1 < v <= 10: {2}; 10 < v <= 100: {50}; +Inf: {1000}.
+	want := []int64{2, 1, 1, 1}
+	for i, b := range m.Buckets {
+		if b != want[i] {
+			t.Fatalf("buckets = %v, want %v", m.Buckets, want)
+		}
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a", "k", "2").Inc()
+	r.Counter("a", "k", "1").Inc()
+	r.Gauge("a", "k", "0").Set(1)
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		prev, cur := snap[i-1], snap[i]
+		if prev.Name > cur.Name ||
+			(prev.Name == cur.Name && labelKey(prev.Labels) > labelKey(cur.Labels)) {
+			t.Fatalf("snapshot out of order at %d: %+v before %+v", i, prev, cur)
+		}
+	}
+}
+
+func TestDefaultRegistrySwap(t *testing.T) {
+	old := Default()
+	defer SetDefault(old)
+
+	SetDefault(nil)
+	if Enabled() {
+		t.Fatal("expected disabled default")
+	}
+	if CounterOf("x") != nil || GaugeOf("x") != nil ||
+		HistogramOf("x", nil) != nil || StartSpan("x") != nil {
+		t.Fatal("disabled default must hand out nil handles")
+	}
+
+	r := NewRegistry()
+	SetDefault(r)
+	CounterOf("x").Inc()
+	if got := r.Counter("x").Value(); got != 1 {
+		t.Fatalf("default-routed counter = %d", got)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddEnabled(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add(1)
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// StageSecondsMetric is the histogram family every finished span
+// reports its duration to, labeled by stage name — the
+// `pipeline_stage_seconds{stage=...}` series of the exposition.
+const StageSecondsMetric = "pipeline_stage_seconds"
+
+// SpanRecord is one finished timed region.
+type SpanRecord struct {
+	ID     int64    `json:"id"`
+	Parent int64    `json:"parent,omitempty"` // 0 = root
+	Name   string   `json:"name"`
+	Labels []string `json:"labels,omitempty"`
+	// TID is the track the span renders on in a Chrome trace (0 =
+	// main pipeline; workers use 1+worker).
+	TID int `json:"tid"`
+	// Start is the offset from registry creation; Dur the duration.
+	Start time.Duration `json:"start_ns"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Span is an open timed region. Spans nest: children started from a
+// span inherit its track and record it as parent, and the Chrome
+// trace viewer nests spans on the same track by time containment. A
+// nil *Span (instrumentation disabled) is inert.
+type Span struct {
+	r      *Registry
+	id     int64
+	parent int64
+	name   string
+	labels []string
+	tid    int
+	start  time.Time
+}
+
+// StartSpan opens a root timed region. Returns nil on a nil registry.
+func (r *Registry) StartSpan(name string, labels ...string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		r: r, id: r.nextSpan.Add(1), name: name,
+		labels: labels, start: time.Now(),
+	}
+}
+
+// Child opens a nested region under s. Safe on nil (returns nil).
+func (s *Span) Child(name string, labels ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.r.StartSpan(name, labels...)
+	c.parent = s.id
+	c.tid = s.tid
+	return c
+}
+
+// SetTID assigns the span to a render track (e.g. one per collection
+// worker). Safe on nil.
+func (s *Span) SetTID(tid int) {
+	if s != nil {
+		s.tid = tid
+	}
+}
+
+// End closes the region, appending it to the registry's span log and
+// observing its duration on pipeline_stage_seconds{stage=name}. Safe
+// on nil and idempotent only in the sense that calling it on a nil
+// span does nothing.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	rec := SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name, Labels: s.labels, TID: s.tid,
+		Start: s.start.Sub(s.r.start), Dur: now.Sub(s.start),
+	}
+	s.r.spanMu.Lock()
+	s.r.spans = append(s.r.spans, rec)
+	s.r.spanMu.Unlock()
+	s.r.Histogram(StageSecondsMetric, DefBucketsSeconds, "stage", s.name).
+		Observe(rec.Dur.Seconds())
+}
+
+// SpanRecords returns a copy of the finished spans, ordered by start
+// time. Nil registries return nothing.
+func (r *Registry) SpanRecords() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	out := append([]SpanRecord(nil), r.spans...)
+	r.spanMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// WriteSpanJSON writes the finished spans as a JSON array.
+func (r *Registry) WriteSpanJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.SpanRecords())
+}
+
+// WriteTraceEvents writes the finished spans in Chrome trace_event
+// format (load into chrome://tracing or Perfetto): one complete ("X")
+// event per span with microsecond timestamps, tracks mapped to tids.
+func (r *Registry) WriteTraceEvents(w io.Writer) error {
+	type traceEvent struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		TS   float64           `json:"ts"`  // microseconds
+		Dur  float64           `json:"dur"` // microseconds
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	events := make([]traceEvent, 0, 16)
+	for _, s := range r.SpanRecords() {
+		ev := traceEvent{
+			Name: s.Name, Ph: "X",
+			TS:  float64(s.Start) / 1e3,
+			Dur: float64(s.Dur) / 1e3,
+			PID: 1, TID: s.TID,
+		}
+		for i := 0; i+1 < len(s.Labels); i += 2 {
+			if ev.Args == nil {
+				ev.Args = make(map[string]string)
+			}
+			ev.Args[s.Labels[i]] = s.Labels[i+1]
+		}
+		events = append(events, ev)
+	}
+	return json.NewEncoder(w).Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{events})
+}
+
+// SpanTotal aggregates the spans of one stage name.
+type SpanTotal struct {
+	Name  string
+	Count int
+	Total time.Duration
+}
+
+// SummarizeSpans aggregates a span slice by stage name, ordered by
+// descending total duration — the digest the -v experiment driver
+// prints per subcommand.
+func SummarizeSpans(spans []SpanRecord) []SpanTotal {
+	idx := map[string]int{}
+	var out []SpanTotal
+	for _, s := range spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			i = len(out)
+			idx[s.Name] = i
+			out = append(out, SpanTotal{Name: s.Name})
+		}
+		out[i].Count++
+		out[i].Total += s.Dur
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// FormatSpanTotals renders span totals as a one-line digest like
+// "collect 1x801ms, fit/volume 31x210ms".
+func FormatSpanTotals(totals []SpanTotal) string {
+	if len(totals) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(totals))
+	for i, t := range totals {
+		parts[i] = fmt.Sprintf("%s %dx%s", t.Name, t.Count, t.Total.Round(time.Millisecond))
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += ", " + p
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndStageHistogram(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("collect")
+	child := root.Child("collect/worker", "worker", "3")
+	child.SetTID(4)
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+
+	spans := r.SpanRecords()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	// Ordered by start: root first.
+	if spans[0].Name != "collect" || spans[1].Name != "collect/worker" {
+		t.Fatalf("span order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Fatalf("child parent = %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[1].TID != 4 {
+		t.Fatalf("child tid = %d", spans[1].TID)
+	}
+	if spans[0].Dur < spans[1].Dur {
+		t.Fatal("root span shorter than its child")
+	}
+	// Every End observes pipeline_stage_seconds{stage=...}.
+	if got := r.Histogram(StageSecondsMetric, nil, "stage", "collect").Count(); got != 1 {
+		t.Fatalf("stage histogram count = %d", got)
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("fit/volume", "service", "Netflix")
+	time.Sleep(time.Millisecond)
+	s.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "fit/volume" || ev.Ph != "X" || ev.Dur <= 0 {
+		t.Fatalf("bad event: %+v", ev)
+	}
+	if ev.Args["service"] != "Netflix" {
+		t.Fatalf("label lost: %+v", ev.Args)
+	}
+}
+
+func TestWriteSpanJSON(t *testing.T) {
+	r := NewRegistry()
+	r.StartSpan("validate").End()
+	var buf bytes.Buffer
+	if err := r.WriteSpanJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var spans []SpanRecord
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "validate" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestSummarizeSpans(t *testing.T) {
+	spans := []SpanRecord{
+		{Name: "fit", Dur: 10 * time.Millisecond},
+		{Name: "collect", Dur: 100 * time.Millisecond},
+		{Name: "fit", Dur: 30 * time.Millisecond},
+	}
+	totals := SummarizeSpans(spans)
+	if len(totals) != 2 {
+		t.Fatalf("totals = %+v", totals)
+	}
+	if totals[0].Name != "collect" {
+		t.Fatalf("expected collect first (largest total), got %q", totals[0].Name)
+	}
+	if totals[1].Count != 2 || totals[1].Total != 40*time.Millisecond {
+		t.Fatalf("fit total = %+v", totals[1])
+	}
+	line := FormatSpanTotals(totals)
+	if !strings.Contains(line, "collect 1x") || !strings.Contains(line, "fit 2x") {
+		t.Fatalf("digest = %q", line)
+	}
+	if FormatSpanTotals(nil) != "none" {
+		t.Fatal("empty digest")
+	}
+}

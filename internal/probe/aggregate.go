@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"mobiletraffic/internal/dist"
 	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 )
 
 // Default measurement grids. Volumes live on a log10-bytes abscissa
@@ -64,6 +66,11 @@ type Collector struct {
 	DurationEdges []float64
 	NumServices   int
 	stats         map[StatKey]*DayStats
+	// obsFlows[svc] counts the sessions folded in per service
+	// (probe_flows_tracked_total{service=...}); handles are resolved
+	// once at construction so Observe never does a metric lookup, and
+	// are nil (free) when instrumentation is disabled.
+	obsFlows []*obs.Counter
 }
 
 // NewCollector returns a Collector over the default measurement grids.
@@ -71,12 +78,20 @@ func NewCollector(numServices int) (*Collector, error) {
 	if numServices <= 0 {
 		return nil, fmt.Errorf("probe: collector needs >= 1 service, got %d", numServices)
 	}
-	return &Collector{
+	c := &Collector{
 		VolumeEdges:   DefaultVolumeEdges,
 		DurationEdges: DefaultDurationEdges,
 		NumServices:   numServices,
 		stats:         make(map[StatKey]*DayStats),
-	}, nil
+	}
+	if obs.Enabled() {
+		c.obsFlows = make([]*obs.Counter, numServices)
+		for i := range c.obsFlows {
+			c.obsFlows[i] = obs.CounterOf("probe_flows_tracked_total",
+				"service", "svc"+strconv.Itoa(i))
+		}
+	}
+	return c, nil
 }
 
 func (c *Collector) cell(key StatKey) (*DayStats, error) {
@@ -134,6 +149,9 @@ func (c *Collector) Observe(s netsim.Session) error {
 	bin := c.durBin(s.Duration)
 	st.DurVolSum[bin] += s.Volume
 	st.DurCount[bin]++
+	if c.obsFlows != nil {
+		c.obsFlows[s.Service].Inc()
+	}
 	return nil
 }
 

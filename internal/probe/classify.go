@@ -3,6 +3,8 @@ package probe
 import (
 	"fmt"
 	"math/rand"
+
+	"mobiletraffic/internal/obs"
 )
 
 // Classifier stands in for the operator's proprietary DPI traffic
@@ -18,6 +20,11 @@ type Classifier struct {
 	// errors return a uniformly random other service.
 	Accuracy float64
 	rng      *rand.Rand
+	// DPI accounting (probe_classifier_*_total): flows resolved to a
+	// service, flows on unknown ports, and deliberate mislabelings of
+	// the imperfect-accuracy mode. Nil handles when instrumentation is
+	// disabled.
+	obsHits, obsMisses, obsErrors *obs.Counter
 }
 
 // ServicePortBase is the first synthetic server port; service i listens
@@ -46,6 +53,9 @@ func NewClassifier(numServices int, accuracy float64, seed int64) (*Classifier, 
 		numServices:   numServices,
 		Accuracy:      accuracy,
 		rng:           rand.New(rand.NewSource(seed)),
+		obsHits:       obs.CounterOf("probe_classifier_hits_total"),
+		obsMisses:     obs.CounterOf("probe_classifier_misses_total"),
+		obsErrors:     obs.CounterOf("probe_classifier_errors_total"),
 	}, nil
 }
 
@@ -54,8 +64,10 @@ func NewClassifier(numServices int, accuracy float64, seed int64) (*Classifier, 
 func (c *Classifier) Classify(tuple FiveTuple) (int, bool) {
 	svc, ok := c.portToService[tuple.DstPort]
 	if !ok {
+		c.obsMisses.Inc()
 		return 0, false
 	}
+	c.obsHits.Inc()
 	if c.Accuracy < 1 && c.rng.Float64() > c.Accuracy {
 		if c.numServices == 1 {
 			return svc, true
@@ -64,6 +76,7 @@ func (c *Classifier) Classify(tuple FiveTuple) (int, bool) {
 		if other >= svc {
 			other++
 		}
+		c.obsErrors.Inc()
 		return other, true
 	}
 	return svc, true

@@ -12,6 +12,8 @@ package probe
 import (
 	"fmt"
 	"sort"
+
+	"mobiletraffic/internal/obs"
 )
 
 // Proto is a transport-layer protocol.
@@ -130,11 +132,22 @@ type Tracker struct {
 	cfg       TrackerConfig
 	active    map[FiveTuple]*flowState
 	completed []FlowRecord
+	// obsDelim[reason] counts closed flows per termination reason
+	// (probe_flow_delim_total{reason=...}); nil handles when
+	// instrumentation is disabled.
+	obsDelim [TermFlush + 1]*obs.Counter
 }
 
 // NewTracker returns a Tracker with the given configuration.
 func NewTracker(cfg TrackerConfig) *Tracker {
-	return &Tracker{cfg: cfg.withDefaults(), active: make(map[FiveTuple]*flowState)}
+	t := &Tracker{cfg: cfg.withDefaults(), active: make(map[FiveTuple]*flowState)}
+	if obs.Enabled() {
+		for reason := TermFIN; reason <= TermFlush; reason++ {
+			t.obsDelim[reason] = obs.CounterOf("probe_flow_delim_total",
+				"reason", reason.String())
+		}
+	}
+	return t
 }
 
 // ActiveFlows returns the number of currently open flows.
@@ -190,6 +203,7 @@ func (t *Tracker) finish(tuple FiveTuple, st *flowState, end float64, reason Ter
 		Packets:    st.packets,
 		TermReason: reason,
 	})
+	t.obsDelim[reason].Inc()
 	delete(t.active, tuple)
 }
 

@@ -3,6 +3,8 @@ package probe
 import (
 	"errors"
 	"fmt"
+
+	"mobiletraffic/internal/obs"
 )
 
 // Merge folds the statistics of other into c. Both collectors must
@@ -13,12 +15,15 @@ import (
 // probe deployment uses across gateway sites.
 func (c *Collector) Merge(other *Collector) error {
 	if other == nil {
+		obs.CounterOf("probe_merge_conflicts_total", "kind", "nil").Inc()
 		return errors.New("probe: merge with nil collector")
 	}
 	if c.NumServices != other.NumServices {
+		obs.CounterOf("probe_merge_conflicts_total", "kind", "services").Inc()
 		return fmt.Errorf("probe: merge service counts differ: %d vs %d", c.NumServices, other.NumServices)
 	}
 	if !sameEdges(c.VolumeEdges, other.VolumeEdges) || !sameEdges(c.DurationEdges, other.DurationEdges) {
+		obs.CounterOf("probe_merge_conflicts_total", "kind", "grids").Inc()
 		return errors.New("probe: merge grids differ")
 	}
 	for key, src := range other.stats {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 )
 
 // Pipeline wires the complete measurement plane of §3.1 together:
@@ -18,6 +19,10 @@ type Pipeline struct {
 	Tracker    *Tracker
 	Packetizer *Packetizer
 	Collector  *Collector
+	// Measurement-plane accounting (probe_*_total); nil handles when
+	// instrumentation is disabled.
+	obsUnlocated *obs.Counter // flows without usable signaling history
+	obsSplits    *obs.Counter // per-BS partial sessions after handover splitting
 }
 
 // NewPipeline assembles a measurement pipeline for numServices services
@@ -45,10 +50,12 @@ func NewPipeline(numServices int, accuracy float64, seed int64) (*Pipeline, erro
 		return 90
 	}
 	return &Pipeline{
-		Classifier: cl,
-		Tracker:    NewTracker(TrackerConfig{TimeoutFor: timeoutFor}),
-		Packetizer: NewPacketizer(seed ^ 0x9acce55),
-		Collector:  coll,
+		Classifier:   cl,
+		Tracker:      NewTracker(TrackerConfig{TimeoutFor: timeoutFor}),
+		Packetizer:   NewPacketizer(seed ^ 0x9acce55),
+		Collector:    coll,
+		obsUnlocated: obs.CounterOf("probe_unlocated_flows_total"),
+		obsSplits:    obs.CounterOf("probe_session_splits_total"),
 	}, nil
 }
 
@@ -126,6 +133,7 @@ func (p *Pipeline) Run(trace *netsim.MobilityTrace) (PipelineStats, error) {
 		spans, err := locator.Split(ue, rec.Start, rec.End)
 		if err != nil {
 			stats.Unlocatable++
+			p.obsUnlocated.Inc()
 			continue
 		}
 		for _, span := range spans {
@@ -156,6 +164,7 @@ func (p *Pipeline) Run(trace *netsim.MobilityTrace) (PipelineStats, error) {
 				return stats, err
 			}
 			stats.SessionsSplit++
+			p.obsSplits.Inc()
 		}
 	}
 	return stats, nil
