@@ -1,0 +1,64 @@
+package mobiletraffic
+
+// Micro-benchmarks of the measurement-to-model hot path: the
+// end-to-end campaign (NewEnv), per-session folding into the
+// collector (Observe) and the Eq. (2) aggregation scan
+// (AggregateVolume). BENCH_pr3.json records their trajectory.
+
+import (
+	"testing"
+
+	"mobiletraffic/internal/experiments"
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/probe"
+)
+
+// BenchmarkNewEnv times the whole campaign-to-model pipeline at the
+// default configuration (NumBS=40, Days=7): simulate, collect, merge,
+// fit volumes/durations/arrivals.
+func BenchmarkNewEnv(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv(experiments.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(env.Models.Services) == 0 {
+			b.Fatal("no services modeled")
+		}
+	}
+}
+
+// BenchmarkCollectorObserve times folding one session into an
+// already-touched statistics cell — the per-session cost of the whole
+// measurement plane, which a dense store keeps allocation-free.
+func BenchmarkCollectorObserve(b *testing.B) {
+	coll, err := probe.NewCollector(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := netsim.Session{Service: 1, BS: 2, Day: 0, Minute: 600, Volume: 3e6, Duration: 40}
+	if err := coll.Observe(s); err != nil { // touch the cell once
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := coll.Observe(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAggregateVolume times the Eq. (2) nationwide per-service
+// volume aggregation over a realistic campaign's cell population.
+func BenchmarkAggregateVolume(b *testing.B) {
+	env := benchEnvironment(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.Coll.AggregateVolume(probe.ForService(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

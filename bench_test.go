@@ -276,6 +276,7 @@ func BenchmarkAblationArrivalFit(b *testing.B) {
 // --- Micro-benchmarks of the pipeline's hot paths --------------------
 
 func BenchmarkSimulateBSDay(b *testing.B) {
+	b.ReportAllocs()
 	env := benchEnvironment(b)
 	b.ResetTimer()
 	var n int
@@ -288,6 +289,7 @@ func BenchmarkSimulateBSDay(b *testing.B) {
 }
 
 func BenchmarkVolumeModelFit(b *testing.B) {
+	b.ReportAllocs()
 	env := benchEnvironment(b)
 	svc := 0
 	h, _, err := env.Coll.AggregateVolume(probe.ForService(svc))
@@ -303,6 +305,7 @@ func BenchmarkVolumeModelFit(b *testing.B) {
 }
 
 func BenchmarkGeneratorMinute(b *testing.B) {
+	b.ReportAllocs()
 	env := benchEnvironment(b)
 	gen, err := core.NewGenerator(env.Models, 1)
 	if err != nil {
@@ -317,6 +320,7 @@ func BenchmarkGeneratorMinute(b *testing.B) {
 }
 
 func BenchmarkEMD(b *testing.B) {
+	b.ReportAllocs()
 	edges := mathx.LinSpace(2, 10.5, 171)
 	x, _ := dist.NewHist(edges)
 	y, _ := dist.NewHist(edges)

@@ -62,7 +62,7 @@ func main() {
 		if svc < 0 {
 			fatal(fmt.Errorf("unknown service %q", name))
 		}
-		h, weight, err := env.Coll.AggregateVolume(probe.ForService(svc))
+		h, weight, err := env.AggregateVolume(svc)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +73,7 @@ func main() {
 				fmt.Printf("%.3f,%.6g\n", c, h.P[i])
 			}
 		}
-		values, counts, err := env.Coll.AggregatePairs(probe.ForService(svc))
+		values, counts, err := env.AggregatePairs(svc)
 		if err != nil {
 			fatal(err)
 		}

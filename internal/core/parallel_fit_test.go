@@ -1,0 +1,78 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
+)
+
+// fitBothWays fits the same measurements serially (Workers: 1) and with
+// a wide worker pool and returns both outcomes for comparison.
+func fitBothWays(t *testing.T, days, numBS int) (serialSet, parSet *ModelSet, serialRep, parRep *FitReport) {
+	t.Helper()
+	coll, sim := buildMeasurement(t, netsim.SimConfig{Days: days, Seed: 23}, numBS)
+	var err error
+	serialSet, serialRep, err = FitServiceModelsReport(coll, sim.Services, &FitOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSet, parRep, err = FitServiceModelsReport(coll, sim.Services, &FitOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serialSet, parSet, serialRep, parRep
+}
+
+// TestParallelFitBitIdentical is the determinism contract of the
+// parallel fitting pipeline: every fitted parameter and the full
+// degradation report must be bitwise identical between a serial run and
+// a parallel one over the same collector — with instrumentation both
+// off and on (live counters and spans must not perturb the numerics).
+func TestParallelFitBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	for _, instrumented := range []bool{false, true} {
+		old := obs.Default()
+		if instrumented {
+			obs.SetDefault(obs.NewRegistry())
+		} else {
+			obs.SetDefault(nil)
+		}
+		serialSet, parSet, serialRep, parRep := fitBothWays(t, 2, 12)
+		obs.SetDefault(old)
+
+		if !reflect.DeepEqual(serialSet, parSet) {
+			t.Errorf("instrumented=%v: parallel ModelSet differs from serial", instrumented)
+		}
+		if !reflect.DeepEqual(serialRep, parRep) {
+			t.Errorf("instrumented=%v: parallel FitReport differs from serial", instrumented)
+		}
+	}
+}
+
+// TestParallelArrivalFitBitIdentical pins the same contract for the
+// per-decile arrival fits, including the serial nearest-decile
+// backfill that follows the parallel section.
+func TestParallelArrivalFitBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	coll, sim := buildMeasurement(t, netsim.SimConfig{Days: 2, Seed: 29}, 20)
+	serial, serialRep, err := FitArrivalsByDecileWorkers(coll, sim.Topo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, parRep, err := FitArrivalsByDecileWorkers(coll, sim.Topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("parallel arrival models differ from serial")
+	}
+	if !reflect.DeepEqual(serialRep, parRep) {
+		t.Error("parallel arrival FitReport differs from serial")
+	}
+}

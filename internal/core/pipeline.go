@@ -26,6 +26,12 @@ type FitOptions struct {
 	// fit (e.g. probe.DayIn for per-period models, probe.BSIn for
 	// per-area models).
 	Filter probe.KeyFilter
+	// Workers bounds the per-service fitting parallelism (default: one
+	// per CPU; 1 forces serial execution). Every fitted parameter and
+	// the FitReport are bit-identical for any worker count: services
+	// are fitted independently into pre-sized slots and the report is
+	// assembled serially in catalog order afterwards.
+	Workers int
 }
 
 func (o *FitOptions) withDefaults() FitOptions {
@@ -41,6 +47,7 @@ func (o *FitOptions) withDefaults() FitOptions {
 		out.DurationNoise = o.DurationNoise
 	}
 	out.Filter = o.Filter
+	out.Workers = o.Workers
 	return out
 }
 
@@ -95,78 +102,109 @@ func FitServiceModelsReport(c *probe.Collector, catalog []services.Profile, opts
 		}
 		return f
 	}
+	// Services are fitted independently — each one aggregates, fits and
+	// reports into its own pre-sized slot — so the loop fans out over a
+	// bounded worker pool. The combined report and the ModelSet are
+	// assembled serially in catalog order afterwards, which keeps the
+	// output bit-identical to a serial run for any worker count.
+	results := make([]svcFit, len(catalog))
+	runTasks(len(catalog), o.Workers, func(svc int) {
+		results[svc] = fitOneService(c, catalog[svc].Name, svc, shares[svc], durations, withFilter(svc), &o, span)
+	})
 	set := &ModelSet{}
 	report := &FitReport{}
-	for svc := range catalog {
-		name := catalog[svc].Name
-		aggSpan := span.Child("aggregate", "service", name)
-		hist, weight, err := c.AggregateVolume(withFilter(svc))
-		aggSpan.End()
-		if err != nil {
-			report.skip(name, "sessions", err)
-			continue
+	for svc := range results {
+		report.Merge(&results[svc].report)
+		if results[svc].model != nil {
+			set.Services = append(set.Services, *results[svc].model)
 		}
-		if weight < o.MinSessions {
-			report.skip(name, "sessions",
-				fmt.Errorf("%.0f sessions below the %.0f aggregation floor", weight, o.MinSessions))
-			continue
-		}
-		volSpan := span.Child("fit/volume", "service", name)
-		vm, err := FitVolumeModel(hist, o.Volume)
-		volSpan.End()
-		if err != nil {
-			// The mixture fit diverged; a single log-normal over the
-			// same histogram still captures the main trend.
-			fb, fbErr := fallbackVolumeModel(hist)
-			if fbErr != nil {
-				report.skip(name, "volume", err)
-				continue
-			}
-			vm = fb
-			report.fallback(name, "volume", "single log-normal", err)
-		}
-		emd, err := vm.EMD(hist)
-		if err != nil {
-			emd = math.NaN()
-			report.warn("%s: volume EMD unavailable: %v", name, err)
-		}
-		values, counts, err := c.AggregatePairs(withFilter(svc))
-		if err != nil {
-			report.skip(name, "pairs", err)
-			continue
-		}
-		durSpan := span.Child("fit/duration", "service", name)
-		dm, err := FitDurationModel(durations, values, counts)
-		durSpan.End()
-		if err != nil {
-			fb, fbErr := fallbackDurationModel(durations, values, counts)
-			if fbErr != nil {
-				report.skip(name, "duration", fmt.Errorf("%v; fallback: %v", err, fbErr))
-				continue
-			}
-			dm = fb
-			report.fallback(name, "duration", "constant-throughput power law", err)
-		}
-		set.Services = append(set.Services, ServiceModel{
-			Name:          name,
-			SessionShare:  shares[svc],
-			Volume:        *vm,
-			Duration:      *dm,
-			VolumeEMD:     emd,
-			DurationNoise: o.DurationNoise,
-		})
-		report.Fitted++
-		obs.CounterOf("fit_services_fitted_total").Inc()
-		// Per-service fit-quality gauges: the §5.4 EMD of the volume
-		// mixture and the R² of the duration power law — the numbers
-		// FitReport consumers audit, exposed live for drift alerts.
-		obs.GaugeOf("fit_volume_emd", "service", name).Set(emd)
-		obs.GaugeOf("fit_duration_r2", "service", name).Set(dm.R2)
 	}
 	if len(set.Services) == 0 {
 		return nil, report, fmt.Errorf("core: no service could be modeled (%d skipped)", len(report.Skipped))
 	}
 	return set, report, nil
+}
+
+// svcFit is the outcome slot of one service's independent fit: the
+// fitted model (nil when skipped) plus the service-local degradation
+// report, merged into the combined report in catalog order.
+type svcFit struct {
+	model  *ServiceModel
+	report FitReport
+}
+
+// fitOneService runs the §5.2/§5.3 pipeline for a single service:
+// aggregate the volume PDF and duration-volume pairs, fit the mixture
+// and the power law with their graceful fallbacks, and record every
+// deviation in the slot's local report. It only reads the collector,
+// so concurrent calls for distinct services are race-free.
+func fitOneService(c *probe.Collector, name string, svc int, share float64, durations []float64, filter probe.KeyFilter, o *FitOptions, span *obs.Span) svcFit {
+	var out svcFit
+	report := &out.report
+	aggSpan := span.Child("aggregate", "service", name)
+	hist, weight, err := c.AggregateVolume(filter)
+	aggSpan.End()
+	if err != nil {
+		report.skip(name, "sessions", err)
+		return out
+	}
+	if weight < o.MinSessions {
+		report.skip(name, "sessions",
+			fmt.Errorf("%.0f sessions below the %.0f aggregation floor", weight, o.MinSessions))
+		return out
+	}
+	volSpan := span.Child("fit/volume", "service", name)
+	vm, err := FitVolumeModel(hist, o.Volume)
+	volSpan.End()
+	if err != nil {
+		// The mixture fit diverged; a single log-normal over the
+		// same histogram still captures the main trend.
+		fb, fbErr := fallbackVolumeModel(hist)
+		if fbErr != nil {
+			report.skip(name, "volume", err)
+			return out
+		}
+		vm = fb
+		report.fallback(name, "volume", "single log-normal", err)
+	}
+	emd, err := vm.EMD(hist)
+	if err != nil {
+		emd = math.NaN()
+		report.warn("%s: volume EMD unavailable: %v", name, err)
+	}
+	values, counts, err := c.AggregatePairs(filter)
+	if err != nil {
+		report.skip(name, "pairs", err)
+		return out
+	}
+	durSpan := span.Child("fit/duration", "service", name)
+	dm, err := FitDurationModel(durations, values, counts)
+	durSpan.End()
+	if err != nil {
+		fb, fbErr := fallbackDurationModel(durations, values, counts)
+		if fbErr != nil {
+			report.skip(name, "duration", fmt.Errorf("%v; fallback: %v", err, fbErr))
+			return out
+		}
+		dm = fb
+		report.fallback(name, "duration", "constant-throughput power law", err)
+	}
+	out.model = &ServiceModel{
+		Name:          name,
+		SessionShare:  share,
+		Volume:        *vm,
+		Duration:      *dm,
+		VolumeEMD:     emd,
+		DurationNoise: o.DurationNoise,
+	}
+	report.Fitted++
+	obs.CounterOf("fit_services_fitted_total").Inc()
+	// Per-service fit-quality gauges: the §5.4 EMD of the volume
+	// mixture and the R² of the duration power law — the numbers
+	// FitReport consumers audit, exposed live for drift alerts.
+	obs.GaugeOf("fit_volume_emd", "service", name).Set(emd)
+	obs.GaugeOf("fit_duration_r2", "service", name).Set(dm.R2)
+	return out
 }
 
 // FallbackVolumeSigmaFloor is the minimum main-trend width of a
@@ -241,34 +279,49 @@ func FitArrivalsByDecile(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalM
 // returned FitReport. An error is returned only when no decile at all
 // could be fitted.
 func FitArrivalsByDecileReport(c *probe.Collector, topo *netsim.Topology) ([]*ArrivalModel, *FitReport, error) {
+	return FitArrivalsByDecileWorkers(c, topo, 0)
+}
+
+// FitArrivalsByDecileWorkers is FitArrivalsByDecileReport with an
+// explicit worker-pool bound (workers <= 0 uses every CPU; 1 forces
+// serial execution). Deciles are independent — each reads its own BS
+// class from the collector and fits into a pre-sized slot — and the
+// report is assembled serially in decile order afterwards, so the
+// models and the report are bit-identical for any worker count.
+func FitArrivalsByDecileWorkers(c *probe.Collector, topo *netsim.Topology, workers int) ([]*ArrivalModel, *FitReport, error) {
 	span := obs.StartSpan("fit/arrivals")
 	defer span.End()
 	if c == nil || topo == nil {
 		return nil, nil, fmt.Errorf("core: nil collector or topology")
 	}
-	report := &FitReport{}
 	models := make([]*ArrivalModel, 10)
-	for d := 0; d < 10; d++ {
+	reports := make([]FitReport, 10)
+	runTasks(10, workers, func(d int) {
+		report := &reports[d]
 		label := fmt.Sprintf("decile %d", d+1)
 		idx := topo.ByDecile(d)
 		if len(idx) == 0 {
 			report.skip(label, "arrivals", fmt.Errorf("no BSs in class"))
-			continue
+			return
 		}
 		filter := probe.BSIn(idx)
 		peak := c.MinuteCountSamples(filter, netsim.IsPeakMinute)
 		off := c.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
 		if len(peak) == 0 || len(off) == 0 {
 			report.skip(label, "arrivals", fmt.Errorf("no minute samples (probes dark?)"))
-			continue
+			return
 		}
 		m, err := FitArrivalModel(peak, off)
 		if err != nil {
 			report.skip(label, "arrivals", err)
-			continue
+			return
 		}
 		models[d] = m
 		report.Fitted++
+	})
+	report := &FitReport{}
+	for d := range reports {
+		report.Merge(&reports[d])
 	}
 	if report.Fitted == 0 {
 		return nil, report, fmt.Errorf("core: no arrival class could be fitted")

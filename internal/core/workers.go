@@ -1,0 +1,45 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runTasks runs fn(i) for every i in [0, n) on up to workers
+// goroutines (workers <= 0 uses every CPU; workers == 1 runs inline).
+// Tasks are claimed from an atomic counter, so each index runs exactly
+// once; callers write results into pre-sized per-index slots, which
+// keeps output ordering — and therefore every downstream consumer —
+// independent of the schedule.
+func runTasks(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

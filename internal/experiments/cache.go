@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"sync"
+
+	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/probe"
+)
+
+// aggCache memoizes the collector aggregations the experiment drivers
+// re-request for the same service across experiments: ExpVolumeModels,
+// ExpModelAging and ExpCharacterize each walk the full catalog over the
+// same immutable Env.Coll, so every aggregation after the first is a
+// cache hit. Entries hold the canonical result; accessors hand out
+// copies, so callers may mutate what they receive (several drivers
+// Normalize the histograms in place).
+type aggCache struct {
+	mu      sync.Mutex
+	vol     map[int]*volEntry
+	pairs   map[int]*pairEntry
+	share   *shareEntry
+	traffic *shareEntry
+}
+
+type volEntry struct {
+	hist   *dist.Hist
+	weight float64
+	err    error
+}
+
+type pairEntry struct {
+	values, counts []float64
+	err            error
+}
+
+type shareEntry struct {
+	shares, cv []float64
+	err        error
+}
+
+// AggregateVolume is Env.Coll.AggregateVolume(probe.ForService(svc)),
+// memoized per service. The returned histogram is a fresh clone on
+// every call.
+func (e *Env) AggregateVolume(svc int) (*dist.Hist, float64, error) {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	ent, ok := e.cache.vol[svc]
+	if !ok {
+		hist, weight, err := e.Coll.AggregateVolume(probe.ForService(svc))
+		ent = &volEntry{hist: hist, weight: weight, err: err}
+		if e.cache.vol == nil {
+			e.cache.vol = map[int]*volEntry{}
+		}
+		e.cache.vol[svc] = ent
+	}
+	if ent.err != nil {
+		return nil, 0, ent.err
+	}
+	return ent.hist.Clone(), ent.weight, nil
+}
+
+// AggregatePairs is Env.Coll.AggregatePairs(probe.ForService(svc)),
+// memoized per service. The returned slices are fresh copies on every
+// call.
+func (e *Env) AggregatePairs(svc int) (values, counts []float64, err error) {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	ent, ok := e.cache.pairs[svc]
+	if !ok {
+		v, c, err := e.Coll.AggregatePairs(probe.ForService(svc))
+		ent = &pairEntry{values: v, counts: c, err: err}
+		if e.cache.pairs == nil {
+			e.cache.pairs = map[int]*pairEntry{}
+		}
+		e.cache.pairs[svc] = ent
+	}
+	if ent.err != nil {
+		return nil, nil, ent.err
+	}
+	return append([]float64(nil), ent.values...), append([]float64(nil), ent.counts...), nil
+}
+
+// SessionShare is Env.Coll.SessionShare(nil) — the nationwide Table 1
+// session-share column and its per-cell CV — memoized. The returned
+// slices are fresh copies on every call.
+func (e *Env) SessionShare() (share, cv []float64, err error) {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	if e.cache.share == nil {
+		shares, cv, err := e.Coll.SessionShare(nil)
+		e.cache.share = &shareEntry{shares: shares, cv: cv, err: err}
+	}
+	ent := e.cache.share
+	if ent.err != nil {
+		return nil, nil, ent.err
+	}
+	return append([]float64(nil), ent.shares...), append([]float64(nil), ent.cv...), nil
+}
+
+// TrafficShare is Env.Coll.TrafficShare(nil) — the nationwide Table 1
+// traffic-share column and its per-cell CV — memoized. The returned
+// slices are fresh copies on every call.
+func (e *Env) TrafficShare() (share, cv []float64, err error) {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	if e.cache.traffic == nil {
+		shares, cv, err := e.Coll.TrafficShare(nil)
+		e.cache.traffic = &shareEntry{shares: shares, cv: cv, err: err}
+	}
+	ent := e.cache.traffic
+	if ent.err != nil {
+		return nil, nil, ent.err
+	}
+	return append([]float64(nil), ent.shares...), append([]float64(nil), ent.cv...), nil
+}

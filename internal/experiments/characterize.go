@@ -93,11 +93,11 @@ type Fig4Result struct {
 
 // ExpFig4 ranks the services and fits the exponential law.
 func ExpFig4(env *Env) (*Fig4Result, error) {
-	share, _, err := env.Coll.SessionShare(nil)
+	share, _, err := env.SessionShare()
 	if err != nil {
 		return nil, err
 	}
-	traffic, _, err := env.Coll.TrafficShare(nil)
+	traffic, _, err := env.TrafficShare()
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +184,7 @@ func servicePDFs(env *Env, names []string) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		all, _, err := env.Coll.AggregateVolume(probe.ForService(svc))
+		all, _, err := env.AggregateVolume(svc)
 		if err != nil {
 			return nil, err
 		}
@@ -202,7 +202,7 @@ func servicePDFs(env *Env, names []string) (*Fig5Result, error) {
 				s.WorkdayWeekendEMD = emd
 			}
 		}
-		values, counts, err := env.Coll.AggregatePairs(probe.ForService(svc))
+		values, counts, err := env.AggregatePairs(svc)
 		if err != nil {
 			return nil, err
 		}
@@ -588,11 +588,11 @@ type Table1Result struct {
 
 // ExpTable1 measures the shares.
 func ExpTable1(env *Env) (*Table1Result, error) {
-	share, shareCV, err := env.Coll.SessionShare(nil)
+	share, shareCV, err := env.SessionShare()
 	if err != nil {
 		return nil, err
 	}
-	traffic, trafficCV, err := env.Coll.TrafficShare(nil)
+	traffic, trafficCV, err := env.TrafficShare()
 	if err != nil {
 		return nil, err
 	}

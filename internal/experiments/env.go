@@ -52,6 +52,9 @@ type Env struct {
 	Models   *core.ModelSet
 	Arrivals []*core.ArrivalModel // per BS load decile
 	Catalog  []services.Profile   // simulator service catalog (share-ordered)
+	// cache memoizes the aggregations the experiment drivers repeat
+	// over the (immutable) collector; see cache.go.
+	cache aggCache
 }
 
 // NewEnv simulates the measurement campaign, collects the §3.2

@@ -38,7 +38,7 @@ func ExpFig9(env *Env, name string) (*Fig9Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	h, _, err := env.Coll.AggregateVolume(probe.ForService(svc))
+	h, _, err := env.AggregateVolume(svc)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +241,7 @@ func ExpAblationPeakCap(env *Env) (*AblationResult, error) {
 	} {
 		var emds, comps []float64
 		for svc := range env.Catalog {
-			h, w, err := env.Coll.AggregateVolume(probe.ForService(svc))
+			h, w, err := env.AggregateVolume(svc)
 			if err != nil || w < 200 {
 				continue
 			}
@@ -277,7 +277,7 @@ func ExpAblationSmoothing(env *Env) (*AblationResult, error) {
 	} {
 		var emds, comps []float64
 		for svc := range env.Catalog {
-			h, w, err := env.Coll.AggregateVolume(probe.ForService(svc))
+			h, w, err := env.AggregateVolume(svc)
 			if err != nil || w < 200 {
 				continue
 			}
@@ -350,7 +350,7 @@ func ExpAblationDurationFamily(env *Env) (*AblationResult, error) {
 	for _, fam := range families {
 		var r2s []float64
 		for svc := range env.Catalog {
-			values, counts, err := env.Coll.AggregatePairs(probe.ForService(svc))
+			values, counts, err := env.AggregatePairs(svc)
 			if err != nil {
 				continue
 			}

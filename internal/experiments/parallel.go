@@ -62,12 +62,16 @@ func forEachBS(numBS, workers int, work func(worker, bs int) error) error {
 			}
 		}(w)
 	}
-	for bs := 0; bs < numBS; bs++ {
-		task := bsTask{bs: bs}
-		if instrumented {
-			task.enqueued = time.Now()
+	// The instrumentation check is hoisted out of the feeder loop: the
+	// uninstrumented path never touches the clock.
+	if instrumented {
+		for bs := 0; bs < numBS; bs++ {
+			tasks <- bsTask{bs: bs, enqueued: time.Now()}
 		}
-		tasks <- task
+	} else {
+		for bs := 0; bs < numBS; bs++ {
+			tasks <- bsTask{bs: bs}
+		}
 	}
 	close(tasks)
 	wg.Wait()
@@ -105,13 +109,18 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 		workers = 1
 	}
 
+	// Partials are pre-sized to the campaign extent so the dense cell
+	// slabs never re-layout mid-collection, and each worker reuses one
+	// session batch buffer across its whole share of the campaign.
 	partials := make([]*probe.Collector, workers)
+	bufs := make([][]netsim.Session, workers)
 	for w := range partials {
-		coll, err := probe.NewCollector(len(sim.Services))
+		coll, err := probe.NewCollectorSized(len(sim.Services), numBS, days)
 		if err != nil {
 			return nil, err
 		}
 		partials[w] = coll
+		bufs[w] = make([]netsim.Session, 0, netsim.SessionBatchSize)
 	}
 	workerSpans := make([]*obs.Span, workers)
 	err := forEachBS(numBS, workers, func(w, bs int) error {
@@ -122,6 +131,7 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 			s.SetTID(1 + w)
 			workerSpans[w] = s
 		}
+		coll := partials[w]
 		for day := 0; day < days; day++ {
 			var stream *faults.DayStream
 			if inj != nil {
@@ -130,21 +140,22 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 					continue // whole-day probe outage: nothing is exported
 				}
 			}
-			var obsErr error
-			observe := func(s netsim.Session) {
-				if obsErr == nil {
-					obsErr = partials[w].Observe(s)
+			flush := coll.ObserveBatch
+			if stream != nil {
+				flush = func(batch []netsim.Session) error {
+					var obsErr error
+					for i := range batch {
+						stream.Apply(batch[i], func(s netsim.Session) {
+							if obsErr == nil {
+								obsErr = coll.Observe(s)
+							}
+						})
+					}
+					return obsErr
 				}
 			}
-			yield := observe
-			if stream != nil {
-				yield = func(s netsim.Session) { stream.Apply(s, observe) }
-			}
-			if err := sim.GenerateDay(bs, day, yield); err != nil {
+			if err := sim.GenerateDayBatch(bs, day, bufs[w], flush); err != nil {
 				return err
-			}
-			if obsErr != nil {
-				return obsErr
 			}
 		}
 		return nil
@@ -155,13 +166,13 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 	if err != nil {
 		return nil, err
 	}
+	// The dense slabs are index-aligned, so the partials fold into the
+	// first one with per-service shards running in parallel.
 	mergeSpan := span.Child("aggregate/merge")
 	defer mergeSpan.End()
 	out := partials[0]
-	for _, p := range partials[1:] {
-		if err := out.Merge(p); err != nil {
-			return nil, err
-		}
+	if err := out.MergeAll(partials[1:], workers); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -81,6 +81,59 @@ func TestForEachBSCoversEveryBS(t *testing.T) {
 	}
 }
 
+// TestForEachBSFailureStillMergesPartials is the drain regression test
+// for the parallel-merge collection path: a worker that fails
+// mid-campaign keeps draining the feeder channel (no deadlock), the
+// error comes back, and the partial collectors the surviving workers
+// left behind still fold through the parallel MergeAll — the merge must
+// not assume every partial saw every cell.
+func TestForEachBSFailureStillMergesPartials(t *testing.T) {
+	const numBS, days, workers, numSvc = 64, 2, 4, 3
+	partials := make([]*probe.Collector, workers)
+	for w := range partials {
+		coll, err := probe.NewCollectorSized(numSvc, numBS, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials[w] = coll
+	}
+	boom := errors.New("probe crashed")
+	done := make(chan error, 1)
+	go func() {
+		done <- forEachBS(numBS, workers, func(w, bs int) error {
+			if bs == 17 {
+				return boom
+			}
+			for day := 0; day < days; day++ {
+				s := netsim.Session{BS: bs, Day: day, Service: bs % numSvc, Minute: 0, Duration: 10, Volume: 1e6}
+				if err := partials[w].Observe(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want the worker error", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("forEachBS deadlocked after a worker failure")
+	}
+	if err := partials[0].MergeAll(partials[1:], workers); err != nil {
+		t.Fatalf("parallel merge of partials after failure: %v", err)
+	}
+	// Each completed BS contributed exactly `days` sessions. The failed
+	// worker drains (but does not process) the tasks it receives after
+	// the error, so the total is schedule-dependent — but it is always a
+	// whole number of completed BSs, nonzero, and short of a full run.
+	got := partials[0].TotalSessions()
+	if got <= 0 || got > float64((numBS-1)*days) || int(got)%days != 0 {
+		t.Fatalf("merged sessions = %v, want a positive multiple of %d at most %d", got, days, (numBS-1)*days)
+	}
+}
+
 // TestCollectFaultyMatchesSerialInjection verifies that the parallel
 // fault-injected collection is bit-identical to a serial run of the
 // same injector seed — the determinism contract of faults.Injector.

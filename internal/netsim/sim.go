@@ -133,10 +133,18 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 	for i, p := range profiles {
 		probs[i] = p.SessionSharePct / total
 	}
+	// Own a copy of the catalog and memoize each profile's power-law
+	// terms once, so the per-session sampling hot path never re-derives
+	// them (two math.Pow calls per session otherwise).
+	owned := make([]services.Profile, len(profiles))
+	copy(owned, profiles)
+	for i := range owned {
+		owned[i].Precompute()
+	}
 	s := &Simulator{
 		Topo:        topo,
 		Config:      c,
-		Services:    profiles,
+		Services:    owned,
 		baseProbs:   probs,
 		obsSessions: obs.CounterOf("netsim_sessions_generated_total"),
 		obsSplits:   obs.CounterOf("netsim_handover_splits_total"),
@@ -196,16 +204,44 @@ func (s *Simulator) dayRNG(bsIdx, day int) *rand.Rand {
 	return BSDayRNG(s.Config.Seed, bsIdx, day)
 }
 
+// SessionBatchSize is the default yield granularity of
+// GenerateDayBatch: large enough to amortize the per-batch indirect
+// call over the per-session synthesis cost, small enough to keep a
+// worker's in-flight batch within L2.
+const SessionBatchSize = 512
+
 // GenerateDay synthesizes all sessions established at the BS (by
 // topology index) during the given day, invoking yield for each. The
 // per-(BS, day) stream is deterministic in the simulator seed.
 func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
+	return s.GenerateDayBatch(bsIdx, day, nil, func(batch []Session) error {
+		for i := range batch {
+			yield(batch[i])
+		}
+		return nil
+	})
+}
+
+// GenerateDayBatch is the bulk counterpart of GenerateDay: sessions are
+// synthesized into a reusable buffer and yielded in batches, so the
+// per-session cost is an append rather than an indirect call. buf
+// optionally supplies the batch buffer (its capacity sets the batch
+// size; SessionBatchSize is used when nil) and may be reused across
+// calls. The yielded slice is only valid until yield returns; a
+// non-nil yield error aborts generation and is returned as-is. The
+// session stream — and the underlying random draws — are identical to
+// GenerateDay's.
+func (s *Simulator) GenerateDayBatch(bsIdx, day int, buf []Session, yield func([]Session) error) error {
 	if bsIdx < 0 || bsIdx >= len(s.Topo.BSs) {
 		return fmt.Errorf("netsim: BS index %d out of range [0, %d)", bsIdx, len(s.Topo.BSs))
 	}
 	if day < 0 {
 		return fmt.Errorf("netsim: negative day %d", day)
 	}
+	if cap(buf) == 0 {
+		buf = make([]Session, 0, SessionBatchSize)
+	}
+	buf = buf[:0]
 	bs := &s.Topo.BSs[bsIdx]
 	rng := s.dayRNG(bsIdx, day)
 	probs := s.bsProbs[bsIdx]
@@ -214,6 +250,12 @@ func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
 		weekendScale = s.Config.Weekend
 	}
 	var generated, split int64
+	// Batch the workload counters with the sessions: account whatever
+	// was synthesized even when a yield error aborts the day early.
+	defer func() {
+		s.obsSessions.Add(generated)
+		s.obsSplits.Add(split)
+	}()
 	for minute := 0; minute < MinutesPerDay; minute++ {
 		n := ArrivalCount(bs, minute, rng)
 		if weekendScale != 1 {
@@ -242,7 +284,7 @@ func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
 			if truncated {
 				split++
 			}
-			yield(Session{
+			buf = append(buf, Session{
 				BS:        bsIdx,
 				Service:   svc,
 				Day:       day,
@@ -252,10 +294,17 @@ func (s *Simulator) GenerateDay(bsIdx, day int, yield func(Session)) error {
 				Volume:    volume,
 				Truncated: truncated,
 			})
+			if len(buf) == cap(buf) {
+				if err := yield(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
 		}
 	}
-	s.obsSessions.Add(generated)
-	s.obsSplits.Add(split)
+	if len(buf) > 0 {
+		return yield(buf)
+	}
 	return nil
 }
 

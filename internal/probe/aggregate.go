@@ -3,203 +3,11 @@ package probe
 import (
 	"fmt"
 	"math"
-	"sort"
-	"strconv"
 
 	"mobiletraffic/internal/dist"
 	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/netsim"
-	"mobiletraffic/internal/obs"
 )
-
-// Default measurement grids. Volumes live on a log10-bytes abscissa
-// from 100 B to ~30 GB; durations on a log10-seconds abscissa from 1 s
-// to ~28 h, matching the "discretized duration" pairs of §3.2.
-var (
-	// DefaultVolumeEdges spans log10(bytes) in [2, 10.5] with 0.05-decade bins.
-	DefaultVolumeEdges = mathx.LinSpace(2, 10.5, 171)
-	// DefaultDurationEdges spans log10(seconds) in [0, 5] with 0.1-decade bins.
-	DefaultDurationEdges = mathx.LinSpace(0, 5, 51)
-)
-
-// StatKey identifies one (service, BS, day) statistics cell.
-type StatKey struct {
-	Service int
-	BS      int
-	Day     int
-}
-
-// DayStats holds the privacy-preserving aggregate the operator exports
-// per (service, BS, day) tuple (§3.2): per-minute session counts
-// w^{c,m}, the traffic volume PDF F^{c,t}, and duration-volume pairs
-// v^{c,t}(d).
-type DayStats struct {
-	// MinuteCounts[m] is the number of sessions established in minute m.
-	MinuteCounts []float64
-	// Sessions is the daily total w^{c,t}.
-	Sessions float64
-	// Volume is the histogram of per-session log10 traffic volume.
-	Volume *dist.Hist
-	// DurVolSum[i] and DurCount[i] accumulate volume and session count
-	// per duration bin, so DurVolSum[i]/DurCount[i] is v(d_i).
-	DurVolSum, DurCount []float64
-}
-
-// PairValues returns the mean volume per duration bin (NaN for empty
-// bins): the v^{c,t}_s(d) value pairs.
-func (d *DayStats) PairValues() []float64 {
-	out := make([]float64, len(d.DurVolSum))
-	for i := range out {
-		if d.DurCount[i] > 0 {
-			out[i] = d.DurVolSum[i] / d.DurCount[i]
-		} else {
-			out[i] = math.NaN()
-		}
-	}
-	return out
-}
-
-// Collector accumulates simulated sessions into the per-(service, BS,
-// day) statistics of §3.2.
-type Collector struct {
-	VolumeEdges   []float64
-	DurationEdges []float64
-	NumServices   int
-	stats         map[StatKey]*DayStats
-	// obsFlows[svc] counts the sessions folded in per service
-	// (probe_flows_tracked_total{service=...}); handles are resolved
-	// once at construction so Observe never does a metric lookup, and
-	// are nil (free) when instrumentation is disabled.
-	obsFlows []*obs.Counter
-}
-
-// NewCollector returns a Collector over the default measurement grids.
-func NewCollector(numServices int) (*Collector, error) {
-	if numServices <= 0 {
-		return nil, fmt.Errorf("probe: collector needs >= 1 service, got %d", numServices)
-	}
-	c := &Collector{
-		VolumeEdges:   DefaultVolumeEdges,
-		DurationEdges: DefaultDurationEdges,
-		NumServices:   numServices,
-		stats:         make(map[StatKey]*DayStats),
-	}
-	if obs.Enabled() {
-		c.obsFlows = make([]*obs.Counter, numServices)
-		for i := range c.obsFlows {
-			c.obsFlows[i] = obs.CounterOf("probe_flows_tracked_total",
-				"service", "svc"+strconv.Itoa(i))
-		}
-	}
-	return c, nil
-}
-
-func (c *Collector) cell(key StatKey) (*DayStats, error) {
-	st, ok := c.stats[key]
-	if ok {
-		return st, nil
-	}
-	vol, err := dist.NewHist(c.VolumeEdges)
-	if err != nil {
-		return nil, err
-	}
-	st = &DayStats{
-		MinuteCounts: make([]float64, netsim.MinutesPerDay),
-		Volume:       vol,
-		DurVolSum:    make([]float64, len(c.DurationEdges)-1),
-		DurCount:     make([]float64, len(c.DurationEdges)-1),
-	}
-	c.stats[key] = st
-	return st, nil
-}
-
-// durBin maps a duration in seconds to its log-spaced bin index.
-func (c *Collector) durBin(duration float64) int {
-	u := math.Log10(math.Max(duration, 1))
-	n := len(c.DurationEdges) - 1
-	if u <= c.DurationEdges[0] {
-		return 0
-	}
-	if u >= c.DurationEdges[n] {
-		return n - 1
-	}
-	span := c.DurationEdges[n] - c.DurationEdges[0]
-	i := int((u - c.DurationEdges[0]) / span * float64(n))
-	if i >= n {
-		i = n - 1
-	}
-	return i
-}
-
-// Observe folds one session into the statistics.
-func (c *Collector) Observe(s netsim.Session) error {
-	if s.Service < 0 || s.Service >= c.NumServices {
-		return fmt.Errorf("probe: session service %d out of range [0, %d)", s.Service, c.NumServices)
-	}
-	if s.Minute < 0 || s.Minute >= netsim.MinutesPerDay {
-		return fmt.Errorf("probe: session minute %d out of range", s.Minute)
-	}
-	st, err := c.cell(StatKey{Service: s.Service, BS: s.BS, Day: s.Day})
-	if err != nil {
-		return err
-	}
-	st.MinuteCounts[s.Minute]++
-	st.Sessions++
-	st.Volume.Add(math.Log10(math.Max(s.Volume, 1)), 1)
-	bin := c.durBin(s.Duration)
-	st.DurVolSum[bin] += s.Volume
-	st.DurCount[bin]++
-	if c.obsFlows != nil {
-		c.obsFlows[s.Service].Inc()
-	}
-	return nil
-}
-
-// TotalSessions returns the number of sessions observed across every
-// statistics cell — the campaign's grand total w, used e.g. to gauge
-// how much of a workload survived an injected-fault run.
-func (c *Collector) TotalSessions() float64 {
-	var total float64
-	for _, st := range c.stats {
-		total += st.Sessions
-	}
-	return total
-}
-
-// Get returns the statistics cell for a key, if present.
-func (c *Collector) Get(key StatKey) (*DayStats, bool) {
-	st, ok := c.stats[key]
-	return st, ok
-}
-
-// Keys returns every populated (service, BS, day) key.
-func (c *Collector) Keys() []StatKey {
-	out := make([]StatKey, 0, len(c.stats))
-	for k := range c.stats {
-		out = append(out, k)
-	}
-	return out
-}
-
-// sortedKeys returns the populated keys in deterministic (service, BS,
-// day) order. Every aggregation iterates in this order so that
-// floating-point summation — and therefore every fitted parameter — is
-// reproducible run to run regardless of map layout or the parallelism
-// of collection.
-func (c *Collector) sortedKeys() []StatKey {
-	out := c.Keys()
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Service != b.Service {
-			return a.Service < b.Service
-		}
-		if a.BS != b.BS {
-			return a.BS < b.BS
-		}
-		return a.Day < b.Day
-	})
-	return out
-}
 
 // KeyFilter selects a subset of statistics cells.
 type KeyFilter func(StatKey) bool
@@ -246,33 +54,44 @@ func Weekends() KeyFilter { return func(k StatKey) bool { return netsim.IsWeeken
 // AggregateVolume merges the volume PDFs of every cell passing the
 // filter via the session-count-weighted mixture of Eq. (2), returning
 // the normalized aggregate F_s(x) and the total session weight.
+//
+// The mixture is accumulated directly from the cell histograms in
+// slab order — no per-cell clone or normalization pass — with the same
+// floating-point operation order as normalizing each PDF and mixing
+// them (dist.MixHists), so results are bit-identical to that
+// formulation.
 func (c *Collector) AggregateVolume(filter KeyFilter) (*dist.Hist, float64, error) {
-	var hists []*dist.Hist
-	var weights []float64
+	// Pass 1: the total mixture weight (Eq. 2 denominator).
 	var total float64
-	for _, k := range c.sortedKeys() {
-		st := c.stats[k]
-		if filter != nil && !filter(k) {
-			continue
+	matched := 0
+	c.forEachCell(filter, func(_ StatKey, st *DayStats) {
+		if st.Sessions <= 0 || st.Volume.Total() <= 0 {
+			return
 		}
-		if st.Sessions <= 0 {
-			continue
-		}
-		h := st.Volume.Clone()
-		if err := h.Normalize(); err != nil {
-			continue
-		}
-		hists = append(hists, h)
-		weights = append(weights, st.Sessions)
 		total += st.Sessions
-	}
-	if len(hists) == 0 {
+		matched++
+	})
+	if matched == 0 {
 		return nil, 0, fmt.Errorf("probe: no cells match the volume aggregation filter")
 	}
-	mixed, err := dist.MixHists(hists, weights)
+	// Pass 2: accumulate each cell's normalized PDF at weight w/total.
+	mixed, err := dist.NewHist(c.VolumeEdges)
 	if err != nil {
 		return nil, 0, err
 	}
+	c.forEachCell(filter, func(_ StatKey, st *DayStats) {
+		if st.Sessions <= 0 {
+			return
+		}
+		t := st.Volume.Total()
+		if t <= 0 {
+			return
+		}
+		w := st.Sessions / total
+		for i, p := range st.Volume.P {
+			mixed.P[i] += w * (p / t)
+		}
+	})
 	return mixed, total, nil
 }
 
@@ -285,17 +104,13 @@ func (c *Collector) AggregatePairs(filter KeyFilter) (values, counts []float64, 
 	sum := make([]float64, n)
 	cnt := make([]float64, n)
 	matched := false
-	for _, k := range c.sortedKeys() {
-		st := c.stats[k]
-		if filter != nil && !filter(k) {
-			continue
-		}
+	c.forEachCell(filter, func(_ StatKey, st *DayStats) {
 		matched = true
 		for i := 0; i < n; i++ {
 			sum[i] += st.DurVolSum[i]
 			cnt[i] += st.DurCount[i]
 		}
-	}
+	})
 	if !matched {
 		return nil, nil, fmt.Errorf("probe: no cells match the pair aggregation filter")
 	}
@@ -316,34 +131,27 @@ func (c *Collector) AggregatePairs(filter KeyFilter) (values, counts []float64, 
 // minuteFilter optionally restricts which minutes contribute (e.g.
 // netsim.IsPeakMinute).
 func (c *Collector) MinuteCountSamples(filter KeyFilter, minuteFilter func(int) bool) []float64 {
-	type bsDay struct{ bs, day int }
-	perBSDay := make(map[bsDay][]float64)
-	var order []bsDay
-	for _, k := range c.sortedKeys() {
-		st := c.stats[k]
-		if filter != nil && !filter(k) {
-			continue
-		}
-		key := bsDay{k.BS, k.Day}
-		acc, ok := perBSDay[key]
-		if !ok {
+	// One accumulator per (BS, day) cell of the dense extent, allocated
+	// lazily for touched cells; emission in ascending (BS, day) order
+	// matches the slab's deterministic iteration.
+	accs := make([][]float64, c.numBS*c.days)
+	c.forEachCell(filter, func(k StatKey, st *DayStats) {
+		ci := k.BS*c.days + k.Day
+		acc := accs[ci]
+		if acc == nil {
 			acc = make([]float64, netsim.MinutesPerDay)
-			perBSDay[key] = acc
-			order = append(order, key)
+			accs[ci] = acc
 		}
 		for m, v := range st.MinuteCounts {
 			acc[m] += v
 		}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].bs != order[j].bs {
-			return order[i].bs < order[j].bs
-		}
-		return order[i].day < order[j].day
 	})
 	var out []float64
-	for _, key := range order {
-		for m, v := range perBSDay[key] {
+	for _, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		for m, v := range acc {
 			if minuteFilter != nil && !minuteFilter(m) {
 				continue
 			}
@@ -358,32 +166,43 @@ func (c *Collector) MinuteCountSamples(filter KeyFilter, minuteFilter func(int) 
 // filter, plus the coefficient of variation of that share across
 // (BS, day) cells.
 func (c *Collector) SessionShare(filter KeyFilter) (share, cv []float64, err error) {
-	type bsDay struct{ bs, day int }
-	perCell := make(map[bsDay][]float64)
-	var cellOrder []bsDay
+	return c.shareOf(filter, "share", func(st *DayStats) float64 { return st.Sessions })
+}
+
+// TrafficShare returns, per service, the fraction of total traffic
+// volume (the Table 1 "Traffic %" column) across cells passing the
+// filter, plus the per-cell coefficient of variation.
+func (c *Collector) TrafficShare(filter KeyFilter) (share, cv []float64, err error) {
+	return c.shareOf(filter, "traffic share", func(st *DayStats) float64 {
+		var vol float64
+		for i := range st.DurVolSum {
+			vol += st.DurVolSum[i]
+		}
+		return vol
+	})
+}
+
+// shareOf computes per-service shares of a per-cell mass (sessions or
+// traffic volume) plus the per-(BS, day) coefficient of variation of
+// the share.
+func (c *Collector) shareOf(filter KeyFilter, what string, mass func(*DayStats) float64) (share, cv []float64, err error) {
+	nCells := c.numBS * c.days
+	perCell := make([]float64, nCells*c.NumServices)
+	touched := make([]bool, nCells)
 	totals := make([]float64, c.NumServices)
 	var grand float64
-	for _, k := range c.sortedKeys() {
-		st := c.stats[k]
-		if filter != nil && !filter(k) {
-			continue
-		}
-		cell := bsDay{k.BS, k.Day}
-		if _, ok := perCell[cell]; !ok {
-			perCell[cell] = make([]float64, c.NumServices)
-			cellOrder = append(cellOrder, cell)
-		}
-		perCell[cell][k.Service] += st.Sessions
-		totals[k.Service] += st.Sessions
-		grand += st.Sessions
-	}
-	sort.Slice(cellOrder, func(i, j int) bool {
-		if cellOrder[i].bs != cellOrder[j].bs {
-			return cellOrder[i].bs < cellOrder[j].bs
-		}
-		return cellOrder[i].day < cellOrder[j].day
+	c.forEachCell(filter, func(k StatKey, st *DayStats) {
+		m := mass(st)
+		ci := k.BS*c.days + k.Day
+		touched[ci] = true
+		perCell[ci*c.NumServices+k.Service] += m
+		totals[k.Service] += m
+		grand += m
 	})
 	if grand <= 0 {
+		if what == "traffic share" {
+			return nil, nil, fmt.Errorf("probe: no traffic matches the share filter")
+		}
 		return nil, nil, fmt.Errorf("probe: no sessions match the share filter")
 	}
 	share = make([]float64, c.NumServices)
@@ -394,74 +213,17 @@ func (c *Collector) SessionShare(filter KeyFilter) (share, cv []float64, err err
 	cv = make([]float64, c.NumServices)
 	for s := 0; s < c.NumServices; s++ {
 		var vals []float64
-		for _, cell := range cellOrder {
-			counts := perCell[cell]
+		for ci := 0; ci < nCells; ci++ {
+			if !touched[ci] {
+				continue
+			}
+			counts := perCell[ci*c.NumServices : (ci+1)*c.NumServices]
 			var cellTotal float64
 			for _, v := range counts {
 				cellTotal += v
 			}
 			if cellTotal > 0 {
 				vals = append(vals, counts[s]/cellTotal)
-			}
-		}
-		if len(vals) > 1 && mathx.Mean(vals) > 0 {
-			cv[s] = mathx.Std(vals) / mathx.Mean(vals)
-		}
-	}
-	return share, cv, nil
-}
-
-// TrafficShare returns, per service, the fraction of total traffic
-// volume (the Table 1 "Traffic %" column) across cells passing the
-// filter, plus the per-cell coefficient of variation.
-func (c *Collector) TrafficShare(filter KeyFilter) (share, cv []float64, err error) {
-	type bsDay struct{ bs, day int }
-	perCell := make(map[bsDay][]float64)
-	var cellOrder []bsDay
-	totals := make([]float64, c.NumServices)
-	var grand float64
-	for _, k := range c.sortedKeys() {
-		st := c.stats[k]
-		if filter != nil && !filter(k) {
-			continue
-		}
-		var vol float64
-		for i := range st.DurVolSum {
-			vol += st.DurVolSum[i]
-		}
-		cell := bsDay{k.BS, k.Day}
-		if _, ok := perCell[cell]; !ok {
-			perCell[cell] = make([]float64, c.NumServices)
-			cellOrder = append(cellOrder, cell)
-		}
-		perCell[cell][k.Service] += vol
-		totals[k.Service] += vol
-		grand += vol
-	}
-	sort.Slice(cellOrder, func(i, j int) bool {
-		if cellOrder[i].bs != cellOrder[j].bs {
-			return cellOrder[i].bs < cellOrder[j].bs
-		}
-		return cellOrder[i].day < cellOrder[j].day
-	})
-	if grand <= 0 {
-		return nil, nil, fmt.Errorf("probe: no traffic matches the share filter")
-	}
-	share = make([]float64, c.NumServices)
-	for s := range share {
-		share[s] = totals[s] / grand
-	}
-	cv = make([]float64, c.NumServices)
-	for s := 0; s < c.NumServices; s++ {
-		var vals []float64
-		for _, cell := range cellOrder {
-			vols := perCell[cell]
-			var cellTotal float64
-			for _, v := range vols {
-				cellTotal += v
-			}
-			if cellTotal > 0 {
-				vals = append(vals, vols[s]/cellTotal)
 			}
 		}
 		if len(vals) > 1 && mathx.Mean(vals) > 0 {

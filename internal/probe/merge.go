@@ -3,6 +3,9 @@ package probe
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mobiletraffic/internal/obs"
 )
@@ -14,36 +17,108 @@ import (
 // collectors are merged afterwards — the map-reduce layout a real
 // probe deployment uses across gateway sites.
 func (c *Collector) Merge(other *Collector) error {
-	if other == nil {
-		obs.CounterOf("probe_merge_conflicts_total", "kind", "nil").Inc()
-		return errors.New("probe: merge with nil collector")
-	}
-	if c.NumServices != other.NumServices {
-		obs.CounterOf("probe_merge_conflicts_total", "kind", "services").Inc()
-		return fmt.Errorf("probe: merge service counts differ: %d vs %d", c.NumServices, other.NumServices)
-	}
-	if !sameEdges(c.VolumeEdges, other.VolumeEdges) || !sameEdges(c.DurationEdges, other.DurationEdges) {
-		obs.CounterOf("probe_merge_conflicts_total", "kind", "grids").Inc()
-		return errors.New("probe: merge grids differ")
-	}
-	for key, src := range other.stats {
-		dst, err := c.cell(key)
-		if err != nil {
-			return err
+	return c.MergeAll([]*Collector{other}, 1)
+}
+
+// MergeAll folds a set of partial collectors into c in slice order. The
+// dense slabs are index-aligned, so the walk shards by service across
+// up to workers goroutines (workers <= 0 uses every CPU): shards touch
+// disjoint cell ranges and each destination cell receives its
+// contributions in the same partial order as a serial pairwise Merge
+// chain, so the result is bit-identical regardless of worker count.
+func (c *Collector) MergeAll(others []*Collector, workers int) error {
+	for _, other := range others {
+		if other == nil {
+			obs.CounterOf("probe_merge_conflicts_total", "kind", "nil").Inc()
+			return errors.New("probe: merge with nil collector")
 		}
-		for m, v := range src.MinuteCounts {
-			dst.MinuteCounts[m] += v
+		if c.NumServices != other.NumServices {
+			obs.CounterOf("probe_merge_conflicts_total", "kind", "services").Inc()
+			return fmt.Errorf("probe: merge service counts differ: %d vs %d", c.NumServices, other.NumServices)
 		}
-		dst.Sessions += src.Sessions
-		for i, p := range src.Volume.P {
-			dst.Volume.P[i] += p
-		}
-		for i := range src.DurVolSum {
-			dst.DurVolSum[i] += src.DurVolSum[i]
-			dst.DurCount[i] += src.DurCount[i]
+		if !sameEdges(c.VolumeEdges, other.VolumeEdges) || !sameEdges(c.DurationEdges, other.DurationEdges) {
+			obs.CounterOf("probe_merge_conflicts_total", "kind", "grids").Inc()
+			return errors.New("probe: merge grids differ")
 		}
 	}
+	// Grow the destination slab once, up front, so the per-service
+	// shards only ever write disjoint index ranges.
+	maxBS, maxDays := c.numBS, c.days
+	for _, other := range others {
+		if other.numBS > maxBS {
+			maxBS = other.numBS
+		}
+		if other.days > maxDays {
+			maxDays = other.days
+		}
+	}
+	if maxBS > c.numBS || maxDays > c.days {
+		c.ensure(maxBS-1, maxDays-1)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > c.NumServices {
+		workers = c.NumServices
+	}
+	if workers <= 1 {
+		for svc := 0; svc < c.NumServices; svc++ {
+			c.mergeService(svc, others)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				svc := int(next.Add(1))
+				if svc >= c.NumServices {
+					return
+				}
+				c.mergeService(svc, others)
+			}
+		}()
+	}
+	wg.Wait()
 	return nil
+}
+
+// mergeService folds one service's cells from every partial, in partial
+// order, into c. Only cells of service svc are touched, so concurrent
+// calls for distinct services are race-free.
+func (c *Collector) mergeService(svc int, others []*Collector) {
+	for _, other := range others {
+		for bs := 0; bs < other.numBS; bs++ {
+			srcBase := (svc*other.numBS + bs) * other.days
+			dstBase := (svc*c.numBS + bs) * c.days
+			for day := 0; day < other.days; day++ {
+				src := other.cells[srcBase+day]
+				if src == nil {
+					continue
+				}
+				dst := c.cells[dstBase+day]
+				if dst == nil {
+					dst = c.newCell()
+					c.cells[dstBase+day] = dst
+				}
+				for m, v := range src.MinuteCounts {
+					dst.MinuteCounts[m] += v
+				}
+				dst.Sessions += src.Sessions
+				for i, p := range src.Volume.P {
+					dst.Volume.P[i] += p
+				}
+				for i := range src.DurVolSum {
+					dst.DurVolSum[i] += src.DurVolSum[i]
+					dst.DurCount[i] += src.DurCount[i]
+				}
+			}
+		}
+	}
 }
 
 func sameEdges(a, b []float64) bool {

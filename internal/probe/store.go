@@ -1,0 +1,388 @@
+package probe
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/mathx"
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
+)
+
+// Default measurement grids. Volumes live on a log10-bytes abscissa
+// from 100 B to ~30 GB; durations on a log10-seconds abscissa from 1 s
+// to ~28 h, matching the "discretized duration" pairs of §3.2.
+var (
+	// DefaultVolumeEdges spans log10(bytes) in [2, 10.5] with 0.05-decade bins.
+	DefaultVolumeEdges = mathx.LinSpace(2, 10.5, 171)
+	// DefaultDurationEdges spans log10(seconds) in [0, 5] with 0.1-decade bins.
+	DefaultDurationEdges = mathx.LinSpace(0, 5, 51)
+)
+
+// StatKey identifies one (service, BS, day) statistics cell.
+type StatKey struct {
+	Service int
+	BS      int
+	Day     int
+}
+
+// DayStats holds the privacy-preserving aggregate the operator exports
+// per (service, BS, day) tuple (§3.2): per-minute session counts
+// w^{c,m}, the traffic volume PDF F^{c,t}, and duration-volume pairs
+// v^{c,t}(d).
+type DayStats struct {
+	// MinuteCounts[m] is the number of sessions established in minute m.
+	MinuteCounts []float64
+	// Sessions is the daily total w^{c,t}.
+	Sessions float64
+	// Volume is the histogram of per-session log10 traffic volume. Its
+	// Edges are shared with the owning Collector and must not be
+	// mutated.
+	Volume *dist.Hist
+	// DurVolSum[i] and DurCount[i] accumulate volume and session count
+	// per duration bin, so DurVolSum[i]/DurCount[i] is v(d_i).
+	DurVolSum, DurCount []float64
+}
+
+// PairValues returns the mean volume per duration bin (NaN for empty
+// bins): the v^{c,t}_s(d) value pairs.
+func (d *DayStats) PairValues() []float64 {
+	out := make([]float64, len(d.DurVolSum))
+	for i := range out {
+		if d.DurCount[i] > 0 {
+			out[i] = d.DurVolSum[i] / d.DurCount[i]
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// binner maps a domain value onto a fixed ascending edge grid with
+// dist.Hist.BinIndex semantics: values outside the grid clamp into the
+// boundary bins and the right-most edge belongs to the last bin.
+// Uniform grids (validated at construction) take an O(1) multiplicative
+// path double-checked against the edges so float rounding can never
+// mis-bin; non-uniform grids fall back to binary search.
+type binner struct {
+	edges   []float64
+	n       int // bins = len(edges)-1
+	uniform bool
+	lo      float64
+	invW    float64 // bins per domain unit on the uniform path
+}
+
+func newBinner(edges []float64) binner {
+	n := len(edges) - 1
+	b := binner{edges: edges, n: n, lo: edges[0]}
+	span := edges[n] - edges[0]
+	if span > 0 {
+		b.invW = float64(n) / span
+	}
+	w := span / float64(n)
+	b.uniform = true
+	for i := 1; i <= n; i++ {
+		ideal := edges[0] + float64(i)*w
+		if math.Abs(edges[i]-ideal) > 1e-9*math.Max(1, math.Abs(ideal)) {
+			b.uniform = false
+			break
+		}
+	}
+	return b
+}
+
+func (b *binner) bin(x float64) int {
+	if x <= b.edges[0] {
+		return 0
+	}
+	if x >= b.edges[b.n] {
+		return b.n - 1
+	}
+	if b.uniform {
+		i := int((x - b.lo) * b.invW)
+		if i > b.n-1 {
+			i = b.n - 1
+		}
+		// The multiplicative guess can be one off at bin boundaries;
+		// settle it against the actual edges.
+		for i > 0 && x < b.edges[i] {
+			i--
+		}
+		for i < b.n-1 && x >= b.edges[i+1] {
+			i++
+		}
+		return i
+	}
+	i := sort.SearchFloat64s(b.edges, x)
+	if i > 0 && b.edges[i] > x {
+		i--
+	}
+	if i >= b.n {
+		i = b.n - 1
+	}
+	return i
+}
+
+// Collector accumulates simulated sessions into the per-(service, BS,
+// day) statistics of §3.2.
+//
+// Cells live in a dense, index-addressed slab: cell (service, bs, day)
+// sits at slot (service*numBS+bs)*days+day, so folding a session is a
+// bounds check plus an array index (zero allocations once the cell
+// exists), iteration is deterministic by construction (ascending
+// service, BS, day — no per-aggregation key sort), and merging partial
+// collectors is an index-aligned slab walk that shards by service. The
+// BS and day dimensions grow geometrically on demand, so callers that
+// don't know the campaign extent up front can keep using NewCollector;
+// the collection path pre-sizes via NewCollectorSized and never grows.
+//
+// The measurement grids are fixed at construction; do not mutate
+// VolumeEdges or DurationEdges on a live collector.
+type Collector struct {
+	VolumeEdges   []float64
+	DurationEdges []float64
+	NumServices   int
+
+	numBS, days int
+	cells       []*DayStats // len = NumServices*numBS*days, service-major
+
+	volBinner binner // log10-volume -> Volume.P index
+	durBinner binner // log10-duration -> DurVolSum/DurCount index
+
+	// obsFlows[svc] counts the sessions folded in per service
+	// (probe_flows_tracked_total{service=...}); handles are resolved
+	// once at construction so Observe never does a metric lookup, and
+	// are nil (free) when instrumentation is disabled.
+	obsFlows []*obs.Counter
+}
+
+// NewCollector returns a Collector over the default measurement grids.
+// The BS/day extent grows on demand as sessions are observed.
+func NewCollector(numServices int) (*Collector, error) {
+	return NewCollectorSized(numServices, 0, 0)
+}
+
+// NewCollectorSized returns a Collector over the default grids with the
+// (BS, day) extent pre-sized, so a collection campaign of known shape
+// never pays a slab re-layout.
+func NewCollectorSized(numServices, numBS, days int) (*Collector, error) {
+	return NewCollectorGrids(numServices, numBS, days, DefaultVolumeEdges, DefaultDurationEdges)
+}
+
+// NewCollectorGrids returns a Collector over custom measurement grids.
+// Both edge sets must be strictly ascending with at least two edges;
+// non-uniform duration grids are binned by binary search.
+func NewCollectorGrids(numServices, numBS, days int, volumeEdges, durationEdges []float64) (*Collector, error) {
+	if numServices <= 0 {
+		return nil, fmt.Errorf("probe: collector needs >= 1 service, got %d", numServices)
+	}
+	if numBS < 0 || days < 0 {
+		return nil, fmt.Errorf("probe: negative collector extent %dx%d", numBS, days)
+	}
+	// Validate the grids once here so per-cell histograms can share the
+	// edge slices without re-checking.
+	if _, err := dist.NewHist(volumeEdges); err != nil {
+		return nil, fmt.Errorf("probe: volume grid: %w", err)
+	}
+	if _, err := dist.NewHist(durationEdges); err != nil {
+		return nil, fmt.Errorf("probe: duration grid: %w", err)
+	}
+	c := &Collector{
+		VolumeEdges:   volumeEdges,
+		DurationEdges: durationEdges,
+		NumServices:   numServices,
+		numBS:         numBS,
+		days:          days,
+		cells:         make([]*DayStats, numServices*numBS*days),
+		volBinner:     newBinner(volumeEdges),
+		durBinner:     newBinner(durationEdges),
+	}
+	if obs.Enabled() {
+		c.obsFlows = make([]*obs.Counter, numServices)
+		for i := range c.obsFlows {
+			c.obsFlows[i] = obs.CounterOf("probe_flows_tracked_total",
+				"service", "svc"+strconv.Itoa(i))
+		}
+	}
+	return c, nil
+}
+
+// idx returns the slab slot of a key; the key must be in range.
+func (c *Collector) idx(svc, bs, day int) int {
+	return (svc*c.numBS+bs)*c.days + day
+}
+
+// ensure grows the slab so (bs, day) is addressable. Growth is
+// geometric on both dimensions, so repeated out-of-range observations
+// re-layout the slab O(log) times. Growing relocates the slab but not
+// the cells, so *DayStats pointers handed out earlier stay valid.
+func (c *Collector) ensure(bs, day int) {
+	if bs < c.numBS && day < c.days {
+		return
+	}
+	newBS, newDays := c.numBS, c.days
+	for newBS <= bs {
+		if newBS == 0 {
+			newBS = bs + 1
+		} else {
+			newBS *= 2
+		}
+	}
+	for newDays <= day {
+		if newDays == 0 {
+			newDays = day + 1
+		} else {
+			newDays *= 2
+		}
+	}
+	cells := make([]*DayStats, c.NumServices*newBS*newDays)
+	for svc := 0; svc < c.NumServices; svc++ {
+		for b := 0; b < c.numBS; b++ {
+			copy(cells[(svc*newBS+b)*newDays:], c.cells[(svc*c.numBS+b)*c.days:(svc*c.numBS+b+1)*c.days])
+		}
+	}
+	c.numBS, c.days, c.cells = newBS, newDays, cells
+}
+
+// newCell allocates one statistics cell. All four accumulator arrays
+// share a single backing slab for locality; the volume histogram shares
+// the collector's edge slice.
+func (c *Collector) newCell() *DayStats {
+	nv := len(c.VolumeEdges) - 1
+	nd := len(c.DurationEdges) - 1
+	buf := make([]float64, netsim.MinutesPerDay+nv+2*nd)
+	mc, rest := buf[:netsim.MinutesPerDay:netsim.MinutesPerDay], buf[netsim.MinutesPerDay:]
+	vp, rest := rest[:nv:nv], rest[nv:]
+	dv, dc := rest[:nd:nd], rest[nd:nd+nd:nd+nd]
+	return &DayStats{
+		MinuteCounts: mc,
+		Volume:       &dist.Hist{Edges: c.VolumeEdges, P: vp},
+		DurVolSum:    dv,
+		DurCount:     dc,
+	}
+}
+
+// cell returns the statistics cell for a key, creating it if needed.
+func (c *Collector) cell(key StatKey) *DayStats {
+	c.ensure(key.BS, key.Day)
+	i := c.idx(key.Service, key.BS, key.Day)
+	st := c.cells[i]
+	if st == nil {
+		st = c.newCell()
+		c.cells[i] = st
+	}
+	return st
+}
+
+// durBin maps a duration in seconds to its log-spaced bin index.
+func (c *Collector) durBin(duration float64) int {
+	return c.durBinner.bin(math.Log10(math.Max(duration, 1)))
+}
+
+// Observe folds one session into the statistics. In steady state (cell
+// already touched) it performs no allocations.
+func (c *Collector) Observe(s netsim.Session) error {
+	if s.Service < 0 || s.Service >= c.NumServices {
+		return fmt.Errorf("probe: session service %d out of range [0, %d)", s.Service, c.NumServices)
+	}
+	if s.Minute < 0 || s.Minute >= netsim.MinutesPerDay {
+		return fmt.Errorf("probe: session minute %d out of range", s.Minute)
+	}
+	if s.BS < 0 || s.Day < 0 {
+		return fmt.Errorf("probe: session cell (%d, %d) out of range", s.BS, s.Day)
+	}
+	var st *DayStats
+	if s.BS < c.numBS && s.Day < c.days {
+		i := c.idx(s.Service, s.BS, s.Day)
+		if st = c.cells[i]; st == nil {
+			st = c.newCell()
+			c.cells[i] = st
+		}
+	} else {
+		st = c.cell(StatKey{Service: s.Service, BS: s.BS, Day: s.Day})
+	}
+	st.MinuteCounts[s.Minute]++
+	st.Sessions++
+	st.Volume.P[c.volBinner.bin(math.Log10(math.Max(s.Volume, 1)))]++
+	bin := c.durBin(s.Duration)
+	st.DurVolSum[bin] += s.Volume
+	st.DurCount[bin]++
+	if c.obsFlows != nil {
+		c.obsFlows[s.Service].Inc()
+	}
+	return nil
+}
+
+// ObserveBatch folds a batch of sessions, stopping at the first
+// invalid one. It is the bulk counterpart of Observe for batched
+// generation (netsim.GenerateDayBatch).
+func (c *Collector) ObserveBatch(batch []netsim.Session) error {
+	for i := range batch {
+		if err := c.Observe(batch[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalSessions returns the number of sessions observed across every
+// statistics cell — the campaign's grand total w, used e.g. to gauge
+// how much of a workload survived an injected-fault run.
+func (c *Collector) TotalSessions() float64 {
+	var total float64
+	for _, st := range c.cells {
+		if st != nil {
+			total += st.Sessions
+		}
+	}
+	return total
+}
+
+// Get returns the statistics cell for a key, if present.
+func (c *Collector) Get(key StatKey) (*DayStats, bool) {
+	if key.Service < 0 || key.Service >= c.NumServices ||
+		key.BS < 0 || key.BS >= c.numBS || key.Day < 0 || key.Day >= c.days {
+		return nil, false
+	}
+	st := c.cells[c.idx(key.Service, key.BS, key.Day)]
+	return st, st != nil
+}
+
+// Keys returns every populated (service, BS, day) key in deterministic
+// ascending (service, BS, day) order — the iteration order of every
+// aggregation, by construction of the dense slab.
+func (c *Collector) Keys() []StatKey {
+	var out []StatKey
+	c.forEachCell(nil, func(k StatKey, _ *DayStats) {
+		out = append(out, k)
+	})
+	return out
+}
+
+// forEachCell visits every populated cell passing the filter in
+// ascending (service, BS, day) order. Every aggregation iterates this
+// way so that floating-point summation — and therefore every fitted
+// parameter — is reproducible run to run regardless of the parallelism
+// of collection.
+func (c *Collector) forEachCell(filter KeyFilter, fn func(k StatKey, st *DayStats)) {
+	i := 0
+	for svc := 0; svc < c.NumServices; svc++ {
+		for bs := 0; bs < c.numBS; bs++ {
+			for day := 0; day < c.days; day++ {
+				st := c.cells[i]
+				i++
+				if st == nil {
+					continue
+				}
+				k := StatKey{Service: svc, BS: bs, Day: day}
+				if filter != nil && !filter(k) {
+					continue
+				}
+				fn(k, st)
+			}
+		}
+	}
+}

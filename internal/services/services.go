@@ -79,11 +79,32 @@ type Profile struct {
 	// DurationNoise is the log10-domain jitter (decades) applied to the
 	// duration implied by the power law when synthesizing sessions.
 	DurationNoise float64
+
+	// alpha and invBeta memoize the power-law terms that are pure
+	// functions of the fields above; see Precompute. Zero means
+	// not-yet-computed and every accessor falls back to the closed form,
+	// so hand-built Profile literals keep working unchanged.
+	alpha, invBeta float64
+}
+
+// Precompute memoizes the power-law prefactor and exponent inverse so
+// the per-session sampling hot path (SampleDuration → DurationFor →
+// Alpha) stops re-deriving them with two math.Pow calls per session.
+// The cached values are the exact same floats the closed forms produce,
+// so sampling results are bit-identical. Call it once per profile
+// before concurrent use; it mutates the receiver and is not safe to
+// race with readers.
+func (p *Profile) Precompute() {
+	p.alpha = math.Pow(10, p.MainMu) / math.Pow(p.TypDuration, p.Beta)
+	p.invBeta = 1 / p.Beta
 }
 
 // Alpha returns the power-law prefactor anchored at the typical
 // operating point: Alpha = 10^MainMu / TypDuration^Beta.
 func (p *Profile) Alpha() float64 {
+	if p.alpha != 0 {
+		return p.alpha
+	}
 	return math.Pow(10, p.MainMu) / math.Pow(p.TypDuration, p.Beta)
 }
 
@@ -99,7 +120,11 @@ func (p *Profile) DurationFor(volume float64) float64 {
 	if volume <= 0 {
 		return math.NaN()
 	}
-	return math.Pow(volume/p.Alpha(), 1/p.Beta)
+	ib := p.invBeta
+	if ib == 0 {
+		ib = 1 / p.Beta
+	}
+	return math.Pow(volume/p.Alpha(), ib)
 }
 
 // SampleVolume draws one per-session traffic volume in bytes from the
