@@ -27,6 +27,7 @@ func main() {
 		services = flag.String("services", "Netflix,Twitch,Deezer,Amazon,Pokemon GO,Waze",
 			"comma-separated services to characterize")
 		deciles = flag.String("deciles", "0,3,6,9", "comma-separated BS load deciles for arrival PDFs")
+		sampler = flag.String("sampler", "v2", "synthesis sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
 		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
@@ -43,8 +44,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof on %s\n", addr)
 	}
 
+	samplerV, err := netsim.ParseSampler(*sampler)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days)...\n", *numBS, *days)
-	env, err := experiments.NewEnv(experiments.Config{NumBS: *numBS, Days: *days, Seed: *seed})
+	env, err := experiments.NewEnv(experiments.Config{NumBS: *numBS, Days: *days, Seed: *seed, Sampler: samplerV})
 	if err != nil {
 		fatal(err)
 	}

@@ -34,6 +34,7 @@ func main() {
 		format     = flag.String("format", "csv", "output format: csv or json")
 		fitBS      = flag.Int("fit-bs", 20, "base stations in the fitting simulation")
 		fitDays    = flag.Int("fit-days", 3, "days in the fitting simulation")
+		sampler    = flag.String("sampler", "v2", "fitting-simulation sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fitting models on the bundled measurement simulation...")
 		var err error
 		set, err = mobiletraffic.FitFromSimulation(mobiletraffic.SimulationConfig{
-			NumBS: *fitBS, Days: *fitDays, Seed: *seed,
+			NumBS: *fitBS, Days: *fitDays, Seed: *seed, Sampler: *sampler,
 		})
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGammaQKnownValues checks the incomplete-gamma backend against
+// closed-form chi-square survival values: for df=2, P(X>x) = exp(-x/2);
+// for df=1, P(X>x) = erfc(sqrt(x/2)).
+func TestGammaQKnownValues(t *testing.T) {
+	for _, x := range []float64{0.1, 1, 2, 5, 10, 30} {
+		want := math.Exp(-x / 2)
+		if got := chi2Survival(x, 2); math.Abs(got-want) > 1e-12*want+1e-15 {
+			t.Errorf("chi2Survival(%v, 2) = %v, want %v", x, got, want)
+		}
+		want1 := math.Erfc(math.Sqrt(x / 2))
+		if got := chi2Survival(x, 1); math.Abs(got-want1) > 1e-12*want1+1e-14 {
+			t.Errorf("chi2Survival(%v, 1) = %v, want %v", x, got, want1)
+		}
+	}
+	// Median of chi-square with large df approaches df(1-2/(9df))^3.
+	for _, df := range []int{10, 50, 200} {
+		med := float64(df) * math.Pow(1-2.0/(9*float64(df)), 3)
+		if p := chi2Survival(med, df); math.Abs(p-0.5) > 0.01 {
+			t.Errorf("chi2Survival at df=%d median: %v, want ~0.5", df, p)
+		}
+	}
+	if p := chi2Survival(0, 5); p != 1 {
+		t.Errorf("chi2Survival(0) = %v, want 1", p)
+	}
+}
+
+func TestChi2GoFValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		obs, probs []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []float64{1, 2}, []float64{0.5}},
+		{"negative-count", []float64{-1, 2}, []float64{0.5, 0.5}},
+		{"zero-prob-with-obs", []float64{1, 2}, []float64{0, 1}},
+		{"one-category", []float64{5, 0}, []float64{1, 0}},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := Chi2GoF(tc.obs, tc.probs); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestChi2HomogeneityValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"negative", []float64{1, -2}, []float64{1, 2}},
+		{"zero-total", []float64{0, 0}, []float64{1, 2}},
+		{"one-category", []float64{5, 0}, []float64{3, 0}},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := Chi2Homogeneity(tc.a, tc.b); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestChi2GoFCalibration draws categorical samples from known
+// probabilities and checks the test accepts matching draws and rejects
+// shifted ones.
+func TestChi2GoFCalibration(t *testing.T) {
+	probs := []float64{0.5, 0.3, 0.15, 0.05}
+	rng := rand.New(rand.NewSource(5))
+	draw := func(p []float64, n int) []float64 {
+		counts := make([]float64, len(p))
+		for i := 0; i < n; i++ {
+			u := rng.Float64()
+			for j, w := range p {
+				if u < w {
+					counts[j]++
+					break
+				}
+				u -= w
+			}
+		}
+		return counts
+	}
+	obs := draw(probs, 50000)
+	if _, df, p, err := Chi2GoF(obs, probs); err != nil || df != 3 || p < 1e-3 {
+		t.Errorf("matching sample rejected: df=%d p=%v err=%v", df, p, err)
+	}
+	shifted := []float64{0.45, 0.35, 0.15, 0.05}
+	obs = draw(shifted, 50000)
+	if _, _, p, err := Chi2GoF(obs, probs); err != nil || p > 1e-6 {
+		t.Errorf("shifted sample accepted: p=%v err=%v", p, err)
+	}
+	// Unnormalized weights give the same verdict.
+	obs = draw(probs, 50000)
+	w := []float64{50, 30, 15, 5}
+	if _, _, p, err := Chi2GoF(obs, w); err != nil || p < 1e-3 {
+		t.Errorf("unnormalized weights rejected matching sample: p=%v err=%v", p, err)
+	}
+}
+
+// TestChi2HomogeneityCalibration checks the two-sample form with
+// unequal totals: same-distribution pairs pass, different ones fail,
+// and categories empty in both samples are ignored.
+func TestChi2HomogeneityCalibration(t *testing.T) {
+	probs := []float64{0.4, 0.3, 0.2, 0.1, 0}
+	rng := rand.New(rand.NewSource(9))
+	draw := func(p []float64, n int) []float64 {
+		counts := make([]float64, len(p))
+		for i := 0; i < n; i++ {
+			u := rng.Float64()
+			for j, w := range p {
+				if u < w {
+					counts[j]++
+					break
+				}
+				u -= w
+			}
+		}
+		return counts
+	}
+	a := draw(probs, 80000)
+	b := draw(probs, 20000) // quarter-size sample
+	stat, df, p, err := Chi2Homogeneity(a, b)
+	if err != nil || df != 3 || p < 1e-3 {
+		t.Errorf("same-distribution pair rejected: chi2=%v df=%d p=%v err=%v", stat, df, p, err)
+	}
+	c := draw([]float64{0.3, 0.4, 0.2, 0.1, 0}, 20000)
+	if _, _, p, err := Chi2Homogeneity(a, c); err != nil || p > 1e-6 {
+		t.Errorf("different-distribution pair accepted: p=%v err=%v", p, err)
+	}
+}

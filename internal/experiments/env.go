@@ -26,6 +26,10 @@ type Config struct {
 	// 0.25; negative disables UE mobility, useful for ground-truth
 	// recovery oracles).
 	MoveProb float64
+	// Sampler selects the synthesis-engine stream version (default
+	// netsim.SamplerV2; netsim.SamplerV1 reproduces the historical
+	// session stream byte for byte).
+	Sampler netsim.Sampler
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +75,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		Days:     c.Days,
 		Seed:     c.Seed,
 		MoveProb: c.MoveProb,
+		Sampler:  c.Sampler,
 	})
 	simSpan.End()
 	if err != nil {

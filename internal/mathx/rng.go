@@ -1,0 +1,195 @@
+package mathx
+
+import "math"
+
+// This file is the random-number substrate of the sampler-v2 synthesis
+// engine (see DESIGN.md "Sampler streams and determinism"): a small,
+// allocation-free PCG-style generator seeded through the splitmix64
+// finalizer, plus ziggurat samplers for the normal and exponential
+// variates the session synthesizer draws per session. math/rand's
+// lagged-Fibonacci source costs a ~5 KB allocation and ~1800 seeding
+// steps per rand.New, which the simulator used to pay once per
+// (BS, day) cell; a PCG is 16 bytes of state and two multiplications
+// to seed, so a generator can live on the stack of the day loop.
+
+// SplitMix64 advances x by the golden-gamma increment and applies the
+// splitmix64 finalizer (Steele, Lea & Flood 2014): a bijective mixer
+// whose output stream passes BigCrush. It is the canonical way to
+// derive well-dispersed seed material from structured input such as
+// (master seed, BS index, day).
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// PCG is a PCG-XSH-RR 64/32 generator (O'Neill 2014): a 64-bit linear
+// congruential state whose high bits are folded into a 32-bit output
+// through an xorshift and a data-dependent rotation. The zero value is
+// a valid (if fixed-stream) generator; call Seed or SeedStream before
+// use. PCG is not safe for concurrent use; give each worker its own.
+type PCG struct {
+	state uint64
+	inc   uint64 // stream selector, always odd
+}
+
+const pcgMult = 6364136223846793005
+
+// Seed initializes the generator on the stream selected by seq with
+// the given state seed, following the reference pcg32_srandom
+// initialization.
+func (p *PCG) Seed(state, seq uint64) {
+	p.state = 0
+	p.inc = seq<<1 | 1
+	p.Uint32()
+	p.state += state
+	p.Uint32()
+}
+
+// SeedStream seeds the generator for one (a, b) cell of a master
+// seed's stream family — e.g. a = BS index, b = day. Both the state
+// and the stream selector pass through SplitMix64, so structured
+// nearby inputs land on uncorrelated streams.
+func (p *PCG) SeedStream(master, a, b uint64) {
+	h := SplitMix64(master)
+	h = SplitMix64(h ^ (a*0xBF58476D1CE4E5B9 + 1))
+	s := SplitMix64(h ^ (b*0x94D049BB133111EB + 1))
+	p.Seed(s, SplitMix64(s))
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (p *PCG) Uint32() uint32 {
+	old := p.state
+	p.state = old*pcgMult + p.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (p *PCG) Uint64() uint64 {
+	hi := uint64(p.Uint32())
+	lo := uint64(p.Uint32())
+	return hi<<32 | lo
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 random bits.
+func (p *PCG) Float64() float64 {
+	return float64(p.Uint64()>>11) * 0x1p-53
+}
+
+// Ziggurat tables (Marsaglia & Tsang 2000) for the standard normal and
+// exponential distributions, computed once at package init from the
+// published rectangle parameters rather than transcribed, so they are
+// exact for this float64 layout by construction.
+const (
+	znR = 3.442619855899       // normal: rightmost layer boundary
+	znV = 9.91256303526217e-3  // normal: per-layer area
+	zeR = 7.69711747013104972  // exponential: rightmost layer boundary
+	zeV = 3.949659822581572e-3 // exponential: per-layer area
+)
+
+var (
+	znK [128]uint32
+	znW [128]float64
+	znF [128]float64
+	zeK [256]uint32
+	zeW [256]float64
+	zeF [256]float64
+)
+
+func init() {
+	// Normal layers over |x|, 31-bit uniforms against signed outputs.
+	const m1 = 1 << 31
+	dn, tn := znR, znR
+	q := znV / math.Exp(-0.5*dn*dn)
+	znK[0] = uint32(dn / q * m1)
+	znK[1] = 0
+	znW[0] = q / m1
+	znW[127] = dn / m1
+	znF[0] = 1
+	znF[127] = math.Exp(-0.5 * dn * dn)
+	for i := 126; i >= 1; i-- {
+		dn = math.Sqrt(-2 * math.Log(znV/dn+math.Exp(-0.5*dn*dn)))
+		znK[i+1] = uint32(dn / tn * m1)
+		tn = dn
+		znF[i] = math.Exp(-0.5 * dn * dn)
+		znW[i] = dn / m1
+	}
+	// Exponential layers, full 32-bit uniforms.
+	const m2 = 1 << 32
+	de, te := zeR, zeR
+	q = zeV / math.Exp(-de)
+	zeK[0] = uint32(de / q * m2)
+	zeK[1] = 0
+	zeW[0] = q / m2
+	zeW[255] = de / m2
+	zeF[0] = 1
+	zeF[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(zeV/de + math.Exp(-de))
+		zeK[i+1] = uint32(de / te * m2)
+		te = de
+		zeF[i] = math.Exp(-de)
+		zeW[i] = de / m2
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the ziggurat
+// method: one 32-bit draw and one table compare on ~98.8% of calls.
+func (p *PCG) NormFloat64() float64 {
+	for {
+		j := int32(p.Uint32())
+		i := j & 127
+		x := float64(j) * znW[i]
+		if absInt32(j) < znK[i] {
+			return x
+		}
+		if i == 0 {
+			// Tail beyond znR: Marsaglia's exact tail algorithm.
+			for {
+				x = -math.Log(p.Float64()) / znR
+				y := -math.Log(p.Float64())
+				if y+y >= x*x {
+					break
+				}
+			}
+			if j > 0 {
+				return znR + x
+			}
+			return -znR - x
+		}
+		if znF[i]+p.Float64()*(znF[i-1]-znF[i]) < math.Exp(-0.5*x*x) {
+			return x
+		}
+	}
+}
+
+// ExpFloat64 returns an Exp(1) variate via the ziggurat method.
+func (p *PCG) ExpFloat64() float64 {
+	for {
+		j := p.Uint32()
+		i := j & 255
+		x := float64(j) * zeW[i]
+		if j < zeK[i] {
+			return x
+		}
+		if i == 0 {
+			return zeR - math.Log(p.Float64())
+		}
+		if zeF[i]+p.Float64()*(zeF[i-1]-zeF[i]) < math.Exp(-x) {
+			return x
+		}
+	}
+}
+
+func absInt32(j int32) uint32 {
+	if j < 0 {
+		return uint32(-int64(j))
+	}
+	return uint32(j)
+}

@@ -3,6 +3,8 @@ package netsim
 import (
 	"math"
 	"math/rand"
+
+	"mobiletraffic/internal/mathx"
 )
 
 // MinutesPerDay is the number of one-minute aggregation slots per day,
@@ -37,17 +39,51 @@ func DayWeight(minute int) float64 {
 // steep logistic phase weight, which makes intermediate rates rare and
 // the per-minute count PDF bi-modal as in Fig. 3.
 func ArrivalCount(bs *BS, minute int, rng *rand.Rand) int {
-	w := DayWeight(minute)
+	return arrivalCount(bs, DayWeight(minute), rng)
+}
+
+// offPeakExp is the precomputed inverse-CDF Pareto exponent.
+const offPeakExp = -1 / OffPeakParetoShape
+
+// arrivalCount is ArrivalCount with the phase weight supplied by the
+// caller, so the per-day generation loop can read it from the
+// simulator's precomputed minute table instead of paying two math.Exp
+// logistic evaluations per minute. The draw sequence is identical to
+// ArrivalCount's.
+func arrivalCount(bs *BS, w float64, rng *rand.Rand) int {
 	var rate float64
 	if rng.Float64() < w {
 		rate = bs.PeakRate + bs.PeakRate/10*rng.NormFloat64()
 	} else {
 		// Inverse-CDF Pareto draw.
-		rate = bs.OffPeakScale * math.Pow(1-rng.Float64(), -1/OffPeakParetoShape)
+		rate = bs.OffPeakScale * math.Pow(1-rng.Float64(), offPeakExp)
 		// The off-peak mode must stay below the daytime plateau: clamp
 		// the heavy tail at a fraction of the peak rate.
-		if cap := bs.PeakRate * 0.5; rate > cap {
-			rate = cap
+		if clamp := bs.PeakRate * 0.5; rate > clamp {
+			rate = clamp
+		}
+	}
+	if rate <= 0 {
+		return 0
+	}
+	n := int(math.Round(rate))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// arrivalCountFast is arrivalCount on the sampler-v2 PCG stream: same
+// bi-modal mixture, same clamps, different (but identically
+// distributed) randomness.
+func arrivalCountFast(bs *BS, w float64, rng *mathx.PCG) int {
+	var rate float64
+	if rng.Float64() < w {
+		rate = bs.PeakRate + bs.PeakRate/10*rng.NormFloat64()
+	} else {
+		rate = bs.OffPeakScale * math.Pow(1-rng.Float64(), offPeakExp)
+		if clamp := bs.PeakRate * 0.5; rate > clamp {
+			rate = clamp
 		}
 	}
 	if rate <= 0 {

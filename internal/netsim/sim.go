@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/services"
 )
@@ -36,6 +37,38 @@ func (s *Session) Throughput() float64 {
 	return s.Volume / s.Duration
 }
 
+// Sampler selects the versioned sampling engine that turns the
+// deterministic per-(BS, day) seed into a session stream. Both
+// versions synthesize the same ground-truth distributions; they differ
+// in which random draws realize them (see DESIGN.md "Sampler streams
+// and determinism").
+type Sampler string
+
+// Sampler stream versions.
+const (
+	// SamplerV1 is the original math/rand stream: every session draw is
+	// byte-for-byte identical to the pre-versioning simulator, pinned by
+	// TestSamplerV1GoldenStream. Use it to reproduce historical runs.
+	SamplerV1 Sampler = "v1"
+	// SamplerV2 is the fast default: a table-driven engine (PCG RNG,
+	// per-BS alias tables, single-Exp log-domain sampling) that is
+	// statistically equivalent to v1 — same marginals, different draw
+	// mapping — and roughly halves synthesis cost.
+	SamplerV2 Sampler = "v2"
+)
+
+// ParseSampler validates a sampler version string; the empty string
+// selects the default (v2).
+func ParseSampler(s string) (Sampler, error) {
+	switch Sampler(s) {
+	case "":
+		return SamplerV2, nil
+	case SamplerV1, SamplerV2:
+		return Sampler(s), nil
+	}
+	return "", fmt.Errorf("netsim: unknown sampler version %q (want v1 or v2)", s)
+}
+
 // SimConfig configures session synthesis. Zero values take documented
 // defaults.
 type SimConfig struct {
@@ -57,6 +90,10 @@ type SimConfig struct {
 	// §4.4 finds workday/weekend session-level statistics
 	// indistinguishable).
 	Weekend float64
+	// Sampler selects the sampling-engine stream version (default
+	// SamplerV2; SamplerV1 reproduces the historical session stream
+	// byte for byte).
+	Sampler Sampler
 	Seed    int64
 }
 
@@ -79,6 +116,9 @@ func (c SimConfig) withDefaults() SimConfig {
 	if c.Weekend <= 0 {
 		c.Weekend = 1
 	}
+	if c.Sampler == "" {
+		c.Sampler = SamplerV2
+	}
 	return c
 }
 
@@ -93,6 +133,15 @@ type Simulator struct {
 	// §5.1).
 	baseProbs []float64
 	bsProbs   [][]float64
+	// bsAlias holds one Walker alias table per BS over that BS's
+	// jittered shares: the sampler-v2 categorical draw is O(1) instead
+	// of an O(#services) cumulative scan.
+	bsAlias []*services.AliasTable
+	// phase is the precomputed 1440-entry DayWeight table: phase[m]
+	// stores the exact float DayWeight(m) returns, so both sampler
+	// streams read it in place of two math.Exp calls per minute without
+	// perturbing any draw.
+	phase []float64
 	// Workload accounting (netsim_*_total), batched per GenerateDay so
 	// the per-session loop stays atomics-free; nil handles when
 	// instrumentation is disabled.
@@ -119,6 +168,9 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 		return nil, fmt.Errorf("netsim: empty service catalog")
 	}
 	c := cfg.withDefaults()
+	if c.Sampler != SamplerV1 && c.Sampler != SamplerV2 {
+		return nil, fmt.Errorf("netsim: unknown sampler version %q (want %q or %q)", c.Sampler, SamplerV1, SamplerV2)
+	}
 	var total float64
 	for _, p := range profiles {
 		if p.SessionSharePct < 0 {
@@ -151,6 +203,7 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 	}
 	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
 	s.bsProbs = make([][]float64, len(topo.BSs))
+	s.bsAlias = make([]*services.AliasTable, len(topo.BSs))
 	for b := range topo.BSs {
 		p := make([]float64, len(probs))
 		var total float64
@@ -162,6 +215,15 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 			p[i] /= total
 		}
 		s.bsProbs[b] = p
+		tab, err := services.NewAliasTable(p)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: BS %d alias table: %w", b, err)
+		}
+		s.bsAlias[b] = tab
+	}
+	s.phase = make([]float64, MinutesPerDay)
+	for m := range s.phase {
+		s.phase[m] = DayWeight(m)
 	}
 	return s, nil
 }
@@ -242,13 +304,26 @@ func (s *Simulator) GenerateDayBatch(bsIdx, day int, buf []Session, yield func([
 		buf = make([]Session, 0, SessionBatchSize)
 	}
 	buf = buf[:0]
-	bs := &s.Topo.BSs[bsIdx]
-	rng := s.dayRNG(bsIdx, day)
-	probs := s.bsProbs[bsIdx]
 	weekendScale := 1.0
 	if IsWeekend(day) {
 		weekendScale = s.Config.Weekend
 	}
+	if s.Config.Sampler == SamplerV1 {
+		return s.generateDayV1(bsIdx, day, weekendScale, buf, yield)
+	}
+	return s.generateDayV2(bsIdx, day, weekendScale, buf, yield)
+}
+
+// generateDayV1 is the historical math/rand sampling engine, kept
+// byte-for-byte identical to the pre-versioning simulator (pinned by
+// TestSamplerV1GoldenStream): reading the phase weight from the
+// precomputed table and skipping the weekend rounding at n == 0 leave
+// every random draw untouched.
+func (s *Simulator) generateDayV1(bsIdx, day int, weekendScale float64, buf []Session, yield func([]Session) error) error {
+	bs := &s.Topo.BSs[bsIdx]
+	rng := s.dayRNG(bsIdx, day)
+	probs := s.bsProbs[bsIdx]
+	scaleWeekend := weekendScale != 1
 	var generated, split int64
 	// Batch the workload counters with the sessions: account whatever
 	// was synthesized even when a yield error aborts the day early.
@@ -257,8 +332,11 @@ func (s *Simulator) GenerateDayBatch(bsIdx, day int, buf []Session, yield func([
 		s.obsSplits.Add(split)
 	}()
 	for minute := 0; minute < MinutesPerDay; minute++ {
-		n := ArrivalCount(bs, minute, rng)
-		if weekendScale != 1 {
+		n := arrivalCount(bs, s.phase[minute], rng)
+		if n == 0 {
+			continue
+		}
+		if scaleWeekend {
 			n = int(math.Round(float64(n) * weekendScale))
 		}
 		for k := 0; k < n; k++ {
@@ -290,6 +368,80 @@ func (s *Simulator) GenerateDayBatch(bsIdx, day int, buf []Session, yield func([
 				Day:       day,
 				Minute:    minute,
 				Start:     float64(minute)*60 + rng.Float64()*60,
+				Duration:  duration,
+				Volume:    volume,
+				Truncated: truncated,
+			})
+			if len(buf) == cap(buf) {
+				if err := yield(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		return yield(buf)
+	}
+	return nil
+}
+
+// generateDayV2 is the table-driven sampling engine: a stack-resident
+// PCG replaces the per-day rand.Rand allocation, the per-BS alias
+// table replaces the categorical scan, and volume/duration come from
+// the single-Exp log-domain samplers. The stream differs from v1 draw
+// by draw but realizes the same ground-truth distributions
+// (TestSamplerV2StatEquivalence).
+func (s *Simulator) generateDayV2(bsIdx, day int, weekendScale float64, buf []Session, yield func([]Session) error) error {
+	bs := &s.Topo.BSs[bsIdx]
+	var rng mathx.PCG
+	rng.SeedStream(uint64(s.Config.Seed), uint64(bsIdx), uint64(day))
+	alias := s.bsAlias[bsIdx]
+	scaleWeekend := weekendScale != 1
+	moveProb, meanDwell := s.Config.MoveProb, s.Config.MeanDwell
+	var generated, split int64
+	defer func() {
+		s.obsSessions.Add(generated)
+		s.obsSplits.Add(split)
+	}()
+	for minute := 0; minute < MinutesPerDay; minute++ {
+		n := arrivalCountFast(bs, s.phase[minute], &rng)
+		if n == 0 {
+			continue
+		}
+		if scaleWeekend {
+			n = int(math.Round(float64(n) * weekendScale))
+		}
+		minuteStart := float64(minute) * 60
+		for k := 0; k < n; k++ {
+			svc := alias.Pick(rng.Float64())
+			prof := &s.Services[svc]
+			volume, lnV := prof.SampleVolumeLn(&rng)
+			duration := prof.SampleDurationLn(lnV, &rng)
+			truncated := false
+			if rng.Float64() < moveProb {
+				dwell := rng.ExpFloat64() * meanDwell
+				if dwell < 1 {
+					dwell = 1
+				}
+				if dwell < duration {
+					// The BS only sees the dwell-time share of the
+					// session: volume pro-rated on served time.
+					volume *= dwell / duration
+					duration = dwell
+					truncated = true
+				}
+			}
+			generated++
+			if truncated {
+				split++
+			}
+			buf = append(buf, Session{
+				BS:        bsIdx,
+				Service:   svc,
+				Day:       day,
+				Minute:    minute,
+				Start:     minuteStart + rng.Float64()*60,
 				Duration:  duration,
 				Volume:    volume,
 				Truncated: truncated,

@@ -19,6 +19,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"mobiletraffic/internal/mathx"
 )
 
 // Class is the paper's macroscopic service taxonomy (§4.3): the
@@ -85,18 +87,46 @@ type Profile struct {
 	// not-yet-computed and every accessor falls back to the closed form,
 	// so hand-built Profile literals keep working unchanged.
 	alpha, invBeta float64
+	// Natural-log-domain terms of the sampler-v2 fast path, also set by
+	// Precompute: the base-10 mixture parameters scaled by ln 10 so one
+	// math.Exp replaces each math.Pow(10, ·), the ln of the power-law
+	// prefactor, and the mixture weight total. mixTotal == 0 marks
+	// not-yet-precomputed (it is ≥ 1 afterwards).
+	lnAlpha    float64  // ln Alpha
+	mainMuLn   float64  // MainMu · ln 10
+	mainSigLn  float64  // MainSigma · ln 10
+	durNoiseLn float64  // DurationNoise · ln 10
+	mixTotal   float64  // 1 + Σ peak weights
+	peaksLn    []peakLn // peaks with ln-domain location and width
+}
+
+// peakLn is a VolumePeak with its parameters pre-scaled to the
+// natural-log domain.
+type peakLn struct {
+	w, mu, sigma float64
 }
 
 // Precompute memoizes the power-law prefactor and exponent inverse so
 // the per-session sampling hot path (SampleDuration → DurationFor →
 // Alpha) stops re-deriving them with two math.Pow calls per session.
 // The cached values are the exact same floats the closed forms produce,
-// so sampling results are bit-identical. Call it once per profile
-// before concurrent use; it mutates the receiver and is not safe to
-// race with readers.
+// so sampling results are bit-identical. It also derives the
+// natural-log-domain terms of the sampler-v2 fast path (SampleVolumeLn,
+// SampleDurationLn). Call it once per profile before concurrent use; it
+// mutates the receiver and is not safe to race with readers.
 func (p *Profile) Precompute() {
 	p.alpha = math.Pow(10, p.MainMu) / math.Pow(p.TypDuration, p.Beta)
 	p.invBeta = 1 / p.Beta
+	p.lnAlpha = math.Log(p.alpha)
+	p.mainMuLn = p.MainMu * math.Ln10
+	p.mainSigLn = p.MainSigma * math.Ln10
+	p.durNoiseLn = p.DurationNoise * math.Ln10
+	p.mixTotal = 1
+	p.peaksLn = make([]peakLn, len(p.Peaks))
+	for i, pk := range p.Peaks {
+		p.mixTotal += pk.Weight
+		p.peaksLn[i] = peakLn{w: pk.Weight, mu: pk.Mu * math.Ln10, sigma: pk.Sigma * math.Ln10}
+	}
 }
 
 // Alpha returns the power-law prefactor anchored at the typical
@@ -177,6 +207,75 @@ func (p *Profile) SampleDuration(volume float64, rng *rand.Rand) float64 {
 		return 24 * 3600
 	}
 	return d
+}
+
+// lnMaxSessionVolume and lnMaxDuration are the sampler-v2 clamp
+// boundaries in the natural-log domain.
+var (
+	lnMaxSessionVolume = math.Log(MaxSessionVolume)
+	lnMaxDuration      = math.Log(24 * 3600)
+)
+
+// SampleVolumeLn is the sampler-v2 counterpart of SampleVolume: it
+// draws from the same ground-truth mixture but works in the
+// natural-log domain, so the whole draw costs one math.Exp instead of
+// a math.Pow (which internally pays both a log and an exp). It returns
+// the volume in bytes together with its natural log, which
+// SampleDurationLn reuses to skip the log half of the power-law
+// inversion. Requires Precompute; falls back to the closed-form terms
+// (without caching them) on a raw Profile literal.
+func (p *Profile) SampleVolumeLn(rng *mathx.PCG) (v, lnV float64) {
+	mixTotal, peaks := p.mixTotal, p.peaksLn
+	muLn, sigLn := p.mainMuLn, p.mainSigLn
+	if mixTotal == 0 {
+		muLn, sigLn = p.MainMu*math.Ln10, p.MainSigma*math.Ln10
+		mixTotal = 1
+		peaks = make([]peakLn, len(p.Peaks))
+		for i, pk := range p.Peaks {
+			mixTotal += pk.Weight
+			peaks[i] = peakLn{w: pk.Weight, mu: pk.Mu * math.Ln10, sigma: pk.Sigma * math.Ln10}
+		}
+	}
+	if u := rng.Float64() * mixTotal; u >= 1 {
+		u -= 1
+		for _, pk := range peaks {
+			if u < pk.w {
+				muLn, sigLn = pk.mu, pk.sigma
+				break
+			}
+			u -= pk.w
+		}
+		// Rounding leftovers past the last peak keep the main component,
+		// mirroring SampleVolume's fallback.
+	}
+	lnV = muLn + sigLn*rng.NormFloat64()
+	if lnV >= lnMaxSessionVolume {
+		return MaxSessionVolume, lnMaxSessionVolume
+	}
+	return math.Exp(lnV), lnV
+}
+
+// SampleDurationLn is the sampler-v2 counterpart of SampleDuration: the
+// power-law inversion with multiplicative log-normal noise evaluated as
+// a single math.Exp of invBeta·(ln v − ln Alpha) + ln10·noise·Z, with
+// the [1 s, 24 h] clamp applied in the log domain (the boundary cases
+// skip the Exp entirely). Requires Precompute; falls back to the
+// closed-form terms on a raw Profile literal.
+func (p *Profile) SampleDurationLn(lnV float64, rng *mathx.PCG) float64 {
+	ib, lnA, noise := p.invBeta, p.lnAlpha, p.durNoiseLn
+	if p.mixTotal == 0 {
+		ib = 1 / p.Beta
+		lnA = math.Log(p.Alpha())
+		noise = p.DurationNoise * math.Ln10
+	}
+	x := ib*(lnV-lnA) + noise*rng.NormFloat64()
+	switch {
+	case x <= 0: // d < 1 s
+		return 1
+	case x >= lnMaxDuration: // d > 24 h
+		return 24 * 3600
+	}
+	return math.Exp(x)
 }
 
 // VolumeLogPDF evaluates the ground-truth volume density over

@@ -65,18 +65,31 @@ func PackNextFit(ps PSModel, duLoads []float64) PackResult {
 	return res
 }
 
-// LowerBoundPS returns the information-theoretic minimum number of
-// active servers for the given loads: ceil(total load / capacity).
+// LowerBoundPS returns a valid minimum number of active servers for
+// the given loads: the larger of the size bound ceil(total load /
+// capacity) and the count of loads above half capacity (no two of
+// those ever share a server). The second term is what makes Johnson's
+// FFD guarantee testable against this bound: with the size bound
+// alone, instances made of loads just above capacity/2 drive OPT — and
+// FFD — arbitrarily far past it.
 func LowerBoundPS(ps PSModel, duLoads []float64) int {
 	loads := clampLoads(ps, duLoads)
 	var total float64
+	var big int
 	for _, l := range loads {
 		total += l
+		if l > ps.CapacityMbps/2 {
+			big++
+		}
 	}
 	if total == 0 {
 		return 0
 	}
-	return int(math.Ceil(total/ps.CapacityMbps - 1e-9))
+	n := int(math.Ceil(total/ps.CapacityMbps - 1e-9))
+	if big > n {
+		return big
+	}
+	return n
 }
 
 // LowerBoundPower returns the minimum possible power for the loads: the

@@ -121,6 +121,10 @@ type SimulationConfig struct {
 	// MoveProb is the share of transient (mobility-truncated) sessions;
 	// negative disables mobility.
 	MoveProb float64
+	// Sampler selects the synthesis-engine stream version: "" or "v2"
+	// for the fast table-driven default, "v1" for the historical
+	// byte-for-byte session stream (see netsim.Sampler).
+	Sampler string
 }
 
 // FitFromSimulation runs the bundled measurement simulation (a
@@ -152,8 +156,12 @@ func FitFromSimulationFaulty(cfg SimulationConfig, f FaultConfig) (*ModelSet, *F
 	if err != nil {
 		return nil, nil, err
 	}
+	sampler, err := netsim.ParseSampler(cfg.Sampler)
+	if err != nil {
+		return nil, nil, err
+	}
 	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{
-		Days: cfg.Days, Seed: cfg.Seed, MoveProb: cfg.MoveProb,
+		Days: cfg.Days, Seed: cfg.Seed, MoveProb: cfg.MoveProb, Sampler: sampler,
 	})
 	if err != nil {
 		return nil, nil, err
