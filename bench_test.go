@@ -311,6 +311,23 @@ func BenchmarkGeneratorMinute(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	buf := make([]core.GenSession, 0, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if buf, err = gen.MinuteAppend(buf, 9, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneratorMinuteV1(b *testing.B) {
+	b.ReportAllocs()
+	env := benchEnvironment(b)
+	gen, err := core.NewGeneratorEngine(env.Models, 1, core.GenV1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.Minute(9, true); err != nil {

@@ -35,6 +35,7 @@ func main() {
 		fitBS      = flag.Int("fit-bs", 20, "base stations in the fitting simulation")
 		fitDays    = flag.Int("fit-days", 3, "days in the fitting simulation")
 		sampler    = flag.String("sampler", "v2", "fitting-simulation sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
+		genEngine  = flag.String("gen", "v2", "generation engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
 	)
 	flag.Parse()
 
@@ -67,7 +68,11 @@ func main() {
 		return
 	}
 
-	gen, err := mobiletraffic.NewGenerator(set, *seed)
+	engine, err := mobiletraffic.ParseGenEngine(*genEngine)
+	if err != nil {
+		fatal(err)
+	}
+	gen, err := mobiletraffic.NewGeneratorEngine(set, *seed, engine)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mobiletraffic/internal/mathx"
+)
+
+// Engine selects the versioned generation engine that turns a
+// Generator seed into a synthetic session stream. Both versions
+// realize the released model distributions of §5.4; they differ in
+// which random draws produce them (see DESIGN.md "Generation engine
+// streams").
+type Engine string
+
+// Generation engine stream versions.
+const (
+	// GenV1 is the original math/rand stream: every draw is
+	// byte-for-byte identical to the pre-versioning Generator, pinned
+	// by TestGenV1GoldenStream. Use it to reproduce historical traces.
+	GenV1 Engine = "v1"
+	// GenV2 is the fast default: a table-driven engine (stack-resident
+	// PCG, Walker alias tables for the Table 1 service pick and the
+	// mixture-component pick, single-Exp log-domain volume/duration
+	// draws) that is statistically equivalent to v1 — same marginals,
+	// different draw mapping.
+	GenV2 Engine = "v2"
+)
+
+// ParseEngine validates a generation-engine version string; the empty
+// string selects the default (v2).
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "":
+		return GenV2, nil
+	case GenV1, GenV2:
+		return Engine(s), nil
+	}
+	return "", fmt.Errorf("core: unknown generation engine %q (want v1 or v2)", s)
+}
+
+// lnMaxDuration is the [1 s, 24 h] duration ceiling in the natural-log
+// domain, shared by every v2 duration draw.
+var lnMaxDuration = math.Log(MaxSessionDuration)
+
+// genPlan is the precomputed generation plan of one ModelSet: the
+// engine-v2 counterpart of the v1 cumulative-share table, built once
+// per Generator so the per-session hot path performs no parameter
+// derivation, no name lookups and no O(n) scans.
+type genPlan struct {
+	// svcPick is the Walker/Vose alias table over the normalized
+	// session shares: the Table 1 service attribution in O(1).
+	svcPick *mathx.AliasTable
+	svcs    []svcPlan
+}
+
+// svcPlan is one service's precomputed sampling parameters in the
+// natural-log domain: each volume draw is one Gaussian variate and one
+// math.Exp, each duration draw one more of each.
+type svcPlan struct {
+	// comp picks the mixture component (column 0 = main trend, then
+	// the residual peaks in order); nil when the model has no peaks.
+	comp *mathx.AliasTable
+	// muLn and sigLn hold the per-component location/width scaled by
+	// ln 10, main component first.
+	muLn  []float64
+	sigLn []float64
+	// lnCap / maxVol are the volume support ceiling (MaxVolume, or
+	// MaxSampleVolume when the model is unbounded) in both domains.
+	lnCap  float64
+	maxVol float64
+	// Power-law inversion terms: d = exp(invBeta·(ln v − lnAlpha) +
+	// noiseLn·Z), clamped to [1 s, MaxSessionDuration] in the log
+	// domain.
+	invBeta float64
+	lnAlpha float64
+	noiseLn float64
+	// degenerate marks an uninvertible power law (alpha <= 0 or
+	// beta == 0): durations pin at the 1 s floor, matching the v1
+	// NaN-guard in DurationModel.SampleDuration.
+	degenerate bool
+}
+
+// newGenPlan compiles the v2 generation plan from the model set and
+// its normalized session shares.
+func newGenPlan(set *ModelSet, shares []float64) (*genPlan, error) {
+	svcPick, err := mathx.NewAliasTable(shares)
+	if err != nil {
+		return nil, fmt.Errorf("core: generation plan service table: %w", err)
+	}
+	plan := &genPlan{svcPick: svcPick, svcs: make([]svcPlan, len(set.Services))}
+	for i := range set.Services {
+		m := &set.Services[i]
+		sp := &plan.svcs[i]
+		ncomp := 1 + len(m.Volume.Peaks)
+		sp.muLn = make([]float64, ncomp)
+		sp.sigLn = make([]float64, ncomp)
+		sp.muLn[0] = m.Volume.MainMu * math.Ln10
+		sp.sigLn[0] = m.Volume.MainSigma * math.Ln10
+		if len(m.Volume.Peaks) > 0 {
+			weights := make([]float64, ncomp)
+			weights[0] = 1
+			for j, p := range m.Volume.Peaks {
+				weights[j+1] = p.K
+				sp.muLn[j+1] = p.Mu * math.Ln10
+				sp.sigLn[j+1] = p.Sigma * math.Ln10
+			}
+			comp, err := mathx.NewAliasTable(weights)
+			if err != nil {
+				return nil, fmt.Errorf("core: generation plan for %s: %w", m.Name, err)
+			}
+			sp.comp = comp
+		}
+		sp.maxVol = m.Volume.MaxVolume
+		if sp.maxVol <= 0 {
+			sp.maxVol = MaxSampleVolume
+		}
+		sp.lnCap = math.Log(sp.maxVol)
+		if m.Duration.Alpha <= 0 || m.Duration.Beta == 0 ||
+			math.IsNaN(m.Duration.Alpha) || math.IsNaN(m.Duration.Beta) {
+			sp.degenerate = true
+		} else {
+			sp.invBeta = 1 / m.Duration.Beta
+			sp.lnAlpha = math.Log(m.Duration.Alpha)
+		}
+		sp.noiseLn = m.DurationNoise * math.Ln10
+	}
+	return plan, nil
+}
+
+// sampleVolumeLn draws one volume from the log-normal mixture in the
+// natural-log domain: component via the alias table, variate via the
+// ziggurat Gaussian, one math.Exp — versus math.Pow(10, ·) (a log and
+// an exp) on the v1 path. Returns the volume and its natural log so
+// the duration draw can skip the log half of the power-law inversion.
+func (sp *svcPlan) sampleVolumeLn(rng *mathx.PCG) (v, lnV float64) {
+	ci := 0
+	if sp.comp != nil {
+		ci = sp.comp.Pick(rng.Float64())
+	}
+	lnV = sp.muLn[ci] + sp.sigLn[ci]*rng.NormFloat64()
+	if lnV >= sp.lnCap {
+		return sp.maxVol, sp.lnCap
+	}
+	return math.Exp(lnV), lnV
+}
+
+// sampleDurationLn draws the session duration for a volume with the
+// given natural log: the power-law inversion plus optional log-normal
+// jitter evaluated as a single math.Exp, with the [1 s, 24 h] clamps
+// applied in the log domain (boundary cases skip the Exp entirely).
+func (sp *svcPlan) sampleDurationLn(lnV float64, rng *mathx.PCG) float64 {
+	if sp.degenerate {
+		return 1
+	}
+	x := sp.invBeta * (lnV - sp.lnAlpha)
+	if sp.noiseLn > 0 {
+		x += sp.noiseLn * rng.NormFloat64()
+	}
+	switch {
+	case x <= 0: // d < 1 s
+		return 1
+	case x >= lnMaxDuration:
+		return MaxSessionDuration
+	}
+	return math.Exp(x)
+}

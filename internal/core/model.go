@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/obs"
 )
 
@@ -180,72 +181,203 @@ func (s *ModelSet) Normalize() error {
 // ModelSet: arrival counts from the bi-modal arrival model of the
 // requested BS class, service attribution by the Table 1 shares, and
 // per-session volume/duration/throughput from the per-service models —
-// the complete generation recipe of §5.4 / §6.1.
+// the complete generation recipe of §5.4 / §6.1. The Engine selects
+// which random stream realizes the draws: GenV1 replays the historical
+// math/rand stream byte for byte, GenV2 (the default) runs the
+// precomputed table-driven fast path.
 type Generator struct {
-	Set *ModelSet
+	Set    *ModelSet
+	Engine Engine
+	// v1 stream state: math/rand source plus the cumulative share
+	// table scanned with a binary search.
 	rng *rand.Rand
-	// cumulative share table for service attribution
 	cum []float64
+	// v2 stream state: inline PCG (no pointer chase, no sync.Mutex)
+	// plus the precomputed generation plan.
+	pcg  mathx.PCG
+	plan *genPlan
+	// byName resolves Session's name argument to a service index.
+	byName map[string]int
 }
 
 // NewGenerator validates the model set and prepares a generator with
-// the given seed.
+// the given seed on the default engine (GenV2). The caller's set is
+// not modified: session shares are normalized into generator-private
+// tables.
 func NewGenerator(set *ModelSet, seed int64) (*Generator, error) {
+	return NewGeneratorEngine(set, seed, GenV2)
+}
+
+// NewGeneratorEngine prepares a generator on an explicit generation
+// engine; the zero Engine value selects the default.
+func NewGeneratorEngine(set *ModelSet, seed int64, engine Engine) (*Generator, error) {
+	if engine == "" {
+		engine = GenV2
+	}
+	if engine != GenV1 && engine != GenV2 {
+		return nil, fmt.Errorf("core: unknown generation engine %q (want v1 or v2)", engine)
+	}
 	if set == nil || len(set.Services) == 0 {
 		return nil, errors.New("core: generator needs a non-empty model set")
 	}
-	if err := set.Normalize(); err != nil {
+	// Normalize the shares into a private slice instead of mutating the
+	// caller's models. The copy performs the same share/total divisions
+	// the historical in-place Normalize did, so the v1 cumulative table
+	// is bit-identical.
+	var total float64
+	for i := range set.Services {
+		total += set.Services[i].SessionShare
+	}
+	if total <= 0 {
+		return nil, errors.New("core: model set has zero total session share")
+	}
+	shares := make([]float64, len(set.Services))
+	for i := range set.Services {
+		shares[i] = set.Services[i].SessionShare / total
+	}
+	g := &Generator{Set: set, Engine: engine}
+	g.byName = make(map[string]int, len(set.Services))
+	for i := range set.Services {
+		g.byName[set.Services[i].Name] = i
+	}
+	if engine == GenV1 {
+		g.rng = rand.New(rand.NewSource(seed))
+		g.cum = make([]float64, len(set.Services))
+		var acc float64
+		for i, share := range shares {
+			acc += share
+			g.cum[i] = acc
+		}
+		return g, nil
+	}
+	plan, err := newGenPlan(set, shares)
+	if err != nil {
 		return nil, err
 	}
-	g := &Generator{Set: set, rng: rand.New(rand.NewSource(seed))}
-	g.cum = make([]float64, len(set.Services))
-	var acc float64
-	for i, m := range set.Services {
-		acc += m.SessionShare
-		g.cum[i] = acc
-	}
+	g.plan = plan
+	g.pcg.SeedStream(uint64(seed), 0x67656e, 2)
 	return g, nil
 }
 
 // PickServiceIndex draws a service index by session share, without
-// generating a session; callers can pair it with Session to drive a
+// generating a session; callers can pair it with SessionFor to drive a
 // shared arrival realization across generators.
 func (g *Generator) PickServiceIndex() int { return g.pickService() }
 
 // pickService draws a service index by session share.
 func (g *Generator) pickService() int {
-	u := g.rng.Float64()
-	i := sort.SearchFloat64s(g.cum, u)
-	if i >= len(g.cum) {
-		i = len(g.cum) - 1
+	if g.Engine == GenV1 {
+		u := g.rng.Float64()
+		i := sort.SearchFloat64s(g.cum, u)
+		if i >= len(g.cum) {
+			i = len(g.cum) - 1
+		}
+		return i
 	}
-	return i
+	return g.plan.svcPick.Pick(g.pcg.Float64())
+}
+
+// generateV2 draws one session of service index svc on the fast path:
+// both the volume and the duration cost one Gaussian variate and one
+// math.Exp, using the natural log of the volume to skip the logarithm
+// half of the power-law inversion.
+func (g *Generator) generateV2(svc int) GenSession {
+	sp := &g.plan.svcs[svc]
+	v, lnV := sp.sampleVolumeLn(&g.pcg)
+	d := sp.sampleDurationLn(lnV, &g.pcg)
+	return GenSession{
+		Service:    g.Set.Services[svc].Name,
+		Volume:     v,
+		Duration:   d,
+		Throughput: v / d,
+	}
 }
 
 // Minute generates the sessions established in one minute at a BS of
 // the given load class (index into Set.Arrivals); peak selects the
-// daytime or nighttime arrival mode.
+// daytime or nighttime arrival mode. Allocates a fresh slice per call;
+// steady-state loops should use MinuteAppend with a reused buffer.
 func (g *Generator) Minute(class int, peak bool) ([]GenSession, error) {
-	if len(g.Set.Arrivals) == 0 {
-		return nil, errors.New("core: model set has no arrival models")
-	}
-	if class < 0 || class >= len(g.Set.Arrivals) {
-		return nil, fmt.Errorf("core: arrival class %d out of range [0, %d)", class, len(g.Set.Arrivals))
-	}
-	n := g.Set.Arrivals[class].SampleCount(peak, g.rng)
-	out := make([]GenSession, 0, n)
-	for k := 0; k < n; k++ {
-		svc := g.pickService()
-		out = append(out, g.Set.Services[svc].Generate(g.rng))
+	out, err := g.MinuteAppend(nil, class, peak)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// MinuteAppend generates one minute's sessions and appends them to
+// dst, returning the extended slice. Passing a buffer with spare
+// capacity makes the v2 steady state allocation-free (pinned by
+// TestGenV2MinuteAppendAllocs); the draw sequence is identical to
+// Minute on both engines.
+func (g *Generator) MinuteAppend(dst []GenSession, class int, peak bool) ([]GenSession, error) {
+	if len(g.Set.Arrivals) == 0 {
+		return dst, errors.New("core: model set has no arrival models")
+	}
+	if class < 0 || class >= len(g.Set.Arrivals) {
+		return dst, fmt.Errorf("core: arrival class %d out of range [0, %d)", class, len(g.Set.Arrivals))
+	}
+	if g.Engine == GenV1 {
+		n := g.Set.Arrivals[class].SampleCount(peak, g.rng)
+		dst = growSessions(dst, n)
+		for k := 0; k < n; k++ {
+			svc := g.pickService()
+			dst = append(dst, g.Set.Services[svc].Generate(g.rng))
+		}
+		return dst, nil
+	}
+	n := g.Set.Arrivals[class].SampleCountFast(peak, &g.pcg)
+	dst = growSessions(dst, n)
+	for k := 0; k < n; k++ {
+		svc := g.plan.svcPick.Pick(g.pcg.Float64())
+		dst = append(dst, g.generateV2(svc))
+	}
+	return dst, nil
+}
+
+// growSessions ensures dst has room for n more sessions with at most
+// one allocation, so a minute fill never reallocates mid-loop.
+func growSessions(dst []GenSession, n int) []GenSession {
+	if cap(dst)-len(dst) >= n {
+		return dst
+	}
+	grown := make([]GenSession, len(dst), len(dst)+n)
+	copy(grown, dst)
+	return grown
+}
+
+// GenerateBatch appends one minute of sessions per entry of peaks
+// (all for the same load class) to dst, returning the extended slice —
+// the bulk form of MinuteAppend for trace fills.
+func (g *Generator) GenerateBatch(dst []GenSession, class int, peaks []bool) ([]GenSession, error) {
+	var err error
+	for _, peak := range peaks {
+		dst, err = g.MinuteAppend(dst, class, peak)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// SessionFor generates a single session of the service at the given
+// index — the hot-path form of Session, pairing with PickServiceIndex
+// without a name round-trip.
+func (g *Generator) SessionFor(idx int) (GenSession, error) {
+	if idx < 0 || idx >= len(g.Set.Services) {
+		return GenSession{}, fmt.Errorf("core: service index %d out of range [0, %d)", idx, len(g.Set.Services))
+	}
+	if g.Engine == GenV1 {
+		return g.Set.Services[idx].Generate(g.rng), nil
+	}
+	return g.generateV2(idx), nil
+}
+
 // Session generates a single session of the named service.
 func (g *Generator) Session(name string) (GenSession, error) {
-	m, err := g.Set.ByName(name)
-	if err != nil {
-		return GenSession{}, err
+	idx, ok := g.byName[name]
+	if !ok {
+		return GenSession{}, fmt.Errorf("core: model set has no service %q", name)
 	}
-	return m.Generate(g.rng), nil
+	return g.SessionFor(idx)
 }

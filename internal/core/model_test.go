@@ -125,6 +125,12 @@ func TestGeneratorValidation(t *testing.T) {
 	if _, err := g.Minute(5, true); err == nil {
 		t.Error("out-of-range arrival class must error")
 	}
+	if _, err := g.Minute(-1, true); err == nil {
+		t.Error("negative arrival class must error")
+	}
+	if _, err := g.MinuteAppend(nil, len(g.Set.Arrivals), false); err == nil {
+		t.Error("MinuteAppend out-of-range class must error")
+	}
 	noArr := testModelSet()
 	noArr.Arrivals = nil
 	g2, err := NewGenerator(noArr, 0)
@@ -139,6 +145,7 @@ func TestGeneratorValidation(t *testing.T) {
 func TestModelSetJSONRoundTrip(t *testing.T) {
 	set := testModelSet()
 	set.Services[0].Volume.Peaks = []VolumeComponent{{K: 0.1, Mu: 7.6, Sigma: 0.08}}
+	set.Services[0].DurationNoise = 0.35
 	data, err := set.ToJSON()
 	if err != nil {
 		t.Fatal(err)
@@ -160,8 +167,12 @@ func TestModelSetJSONRoundTrip(t *testing.T) {
 	if v.Duration.Beta != 1.4 {
 		t.Errorf("beta = %v", v.Duration.Beta)
 	}
-	if back.Arrivals[0].PeakMu != 20 {
-		t.Errorf("arrivals = %+v", back.Arrivals[0])
+	if v.DurationNoise != 0.35 {
+		t.Errorf("duration noise = %v, want 0.35", v.DurationNoise)
+	}
+	if a := back.Arrivals[0]; a.PeakMu != 20 || a.PeakSigma != set.Arrivals[0].PeakSigma ||
+		a.OffShape != set.Arrivals[0].OffShape || a.OffScale != set.Arrivals[0].OffScale {
+		t.Errorf("arrivals = %+v, want %+v", a, set.Arrivals[0])
 	}
 	if _, err := ModelSetFromJSON([]byte("{garbage")); err == nil {
 		t.Error("malformed JSON must error")

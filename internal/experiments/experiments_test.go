@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 
+	"mobiletraffic/internal/core"
+	"mobiletraffic/internal/littrafgen"
 	"mobiletraffic/internal/services"
 )
 
@@ -574,6 +576,81 @@ func TestExpFig13VRANOrdering(t *testing.T) {
 	}
 	if !strings.Contains(r.Fig13cTable().Render(), "Fig. 13c") {
 		t.Error("fig13c render")
+	}
+}
+
+// TestExpTable2SlicingOrderingV1 re-runs the Table 2 headline shape on
+// the historical v1 generation engine: both engines must reproduce the
+// paper's ordering.
+func TestExpTable2SlicingOrderingV1(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpTable2(env, SlicingConfig{Antennas: 4, Days: 2, Seed: 3, Engine: core.GenV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]StrategyResult{}
+	for _, s := range r.Strategies {
+		byName[s.Name] = s
+	}
+	model := byName["session-level models"]
+	if model.MeanSatisfied < 0.90 {
+		t.Errorf("v1 model satisfaction = %v, want >= 0.90", model.MeanSatisfied)
+	}
+	for _, bm := range []string{"bm_a", "bm_b"} {
+		if byName[bm].MeanSatisfied > model.MeanSatisfied {
+			t.Errorf("v1: %s (%v) beats the session-level model (%v)",
+				bm, byName[bm].MeanSatisfied, model.MeanSatisfied)
+		}
+	}
+}
+
+// TestExpFig13VRANOrderingV1 re-runs the Fig. 13b headline shape on the
+// v1 generation engine.
+func TestExpFig13VRANOrderingV1(t *testing.T) {
+	env := sharedEnv(t)
+	r, err := ExpFig13(env, VRANConfig{ESs: 4, RUsPerES: 5, Hours: 1, Seed: 7, Engine: core.GenV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]VRANStrategy{}
+	for _, s := range r.Strategies {
+		byName[s.Name] = s
+	}
+	model := byName["session-level models"]
+	if model.PowerAPE.Median > 20 {
+		t.Errorf("v1 model power APE median = %v%%, want small", model.PowerAPE.Median)
+	}
+	if byName["bm_a"].PowerAPE.Median < model.PowerAPE.Median*3 {
+		t.Errorf("v1: bm_a power APE %v not well above model %v",
+			byName["bm_a"].PowerAPE.Median, model.PowerAPE.Median)
+	}
+}
+
+// TestExpFig13BmBDistinctFromBmA guards the bm_b construction: the
+// benchmark must be built from the literature BMB share vector, not
+// bm_a's measured shares (a regression once aliased the two, skewing
+// bm_b's NormalizeTotal weighting).
+func TestExpFig13BmBDistinctFromBmA(t *testing.T) {
+	// The share vectors weight NormalizeTotal differently, so the same
+	// volume target must produce different scales.
+	ga := littrafgen.NewGenerator(littrafgen.BMAShares(), 1)
+	gb := littrafgen.NewGenerator(littrafgen.BMBShares(), 1)
+	const wantMean = 5e7
+	if sa, sb := ga.NormalizeTotal(wantMean), gb.NormalizeTotal(wantMean); sa == sb {
+		t.Errorf("BMA- and BMB-share normalization scales identical (%v)", sa)
+	}
+	env := sharedEnv(t)
+	r, err := ExpFig13(env, VRANConfig{ESs: 4, RUsPerES: 5, Hours: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]VRANStrategy{}
+	for _, s := range r.Strategies {
+		byName[s.Name] = s
+	}
+	a, b := byName["bm_a"], byName["bm_b"]
+	if a.MeanPowerW == b.MeanPowerW && a.PowerAPE.Median == b.PowerAPE.Median {
+		t.Error("bm_a and bm_b produced identical Fig. 13b rows")
 	}
 }
 

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"mobiletraffic/internal/core"
 	"mobiletraffic/internal/dist"
 	"mobiletraffic/internal/netsim"
 )
@@ -41,14 +41,23 @@ func ExpFidelity(env *Env, names []string, samples int) (*FidelityResult, error)
 		samples = 20000
 	}
 	out := &FidelityResult{}
-	rng := rand.New(rand.NewSource(env.Config.Seed ^ 0xf1de))
+	gen, err := core.NewGenerator(env.Models, env.Config.Seed^0xf1de)
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range names {
 		svc, err := env.serviceIndex(name)
 		if err != nil {
 			return nil, err
 		}
-		model, err := env.Models.ByName(name)
-		if err != nil {
+		mi := -1
+		for i := range env.Models.Services {
+			if env.Models.Services[i].Name == name {
+				mi = i
+				break
+			}
+		}
+		if mi < 0 {
 			return nil, fmt.Errorf("experiments: %s not modeled", name)
 		}
 		// Measured sessions: replay simulator days until enough samples.
@@ -77,7 +86,10 @@ func ExpFidelity(env *Env, names []string, samples int) (*FidelityResult, error)
 		gTput := make([]float64, len(mVol))
 		var mSum, gSum float64
 		for i := range gVol {
-			s := model.Generate(rng)
+			s, err := gen.SessionFor(mi)
+			if err != nil {
+				return nil, err
+			}
 			gVol[i] = math.Log10(s.Volume)
 			gDur[i] = math.Log10(s.Duration)
 			gTput[i] = math.Log10(s.Throughput)

@@ -22,6 +22,9 @@ type SlicingConfig struct {
 	Antennas int // default 10
 	Days     int // default 7
 	Seed     int64
+	// Engine selects the generation engine for the model and category
+	// reference traces; empty selects the default (core.GenV2).
+	Engine core.Engine
 }
 
 func (c SlicingConfig) withDefaults() SlicingConfig {
@@ -30,6 +33,9 @@ func (c SlicingConfig) withDefaults() SlicingConfig {
 	}
 	if c.Days <= 0 {
 		c.Days = 7
+	}
+	if c.Engine == "" {
+		c.Engine = core.GenV2
 	}
 	return c
 }
@@ -125,69 +131,125 @@ func antennaArrivals(env *Env, bsIdx int) (*core.ArrivalModel, error) {
 	return core.FitArrivalModel(peak, off)
 }
 
+// dayWeightTable precomputes the 1440 per-minute-of-day phase weights
+// so demand builders index a table instead of re-evaluating the
+// transition curve every minute.
+func dayWeightTable() []float64 {
+	w := make([]float64, 24*60)
+	for m := range w {
+		w[m] = netsim.DayWeight(m)
+	}
+	return w
+}
+
 // buildModelDemand generates a reference trace from the fitted models
-// with the antenna's own fitted arrival process.
-func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, catalogIdx, modelIdx []int, seed int64) (*slicing.DemandTrace, error) {
+// with the antenna's own fitted arrival process. Sessions are drawn by
+// index (no name round-trips), buffered per minute and added to the
+// trace in batches; engine GenV1 replays the historical math/rand
+// streams draw for draw, GenV2 runs everything on PCG streams.
+func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, catalogIdx, modelIdx []int, seed int64, engine core.Engine) (*slicing.DemandTrace, error) {
 	trace, err := slicing.NewDemandTrace(numServices, days*24*60)
 	if err != nil {
 		return nil, err
 	}
-	gen, err := core.NewGenerator(env.Models, seed)
+	gen, err := core.NewGeneratorEngine(env.Models, seed, engine)
 	if err != nil {
 		return nil, err
 	}
-	// model name -> catalog index
-	toCatalog := make(map[string]int, len(modelIdx))
-	for k, mi := range modelIdx {
-		toCatalog[env.Models.Services[mi].Name] = catalogIdx[k]
+	// model index -> catalog index (-1 for unmodeled)
+	toCatalogIdx := make([]int, len(env.Models.Services))
+	for i := range toCatalogIdx {
+		toCatalogIdx[i] = -1
 	}
+	for k, mi := range modelIdx {
+		toCatalogIdx[mi] = catalogIdx[k]
+	}
+	v1 := gen.Engine == core.GenV1
 	rng := rand.New(rand.NewSource(seed ^ 0x51c1))
+	var pcg mathx.PCG
+	pcg.SeedStream(uint64(seed^0x51c1), 0xb11d, 1)
+	uniform := func() float64 {
+		if v1 {
+			return rng.Float64()
+		}
+		return pcg.Float64()
+	}
+	count := func(peak bool) int {
+		if v1 {
+			return arr.SampleCount(peak, rng)
+		}
+		return arr.SampleCountFast(peak, &pcg)
+	}
+	dayW := dayWeightTable()
+	specs := make([]slicing.SessionSpec, 0, 64)
 	for m := 0; m < days*24*60; m++ {
 		// Transition-aware phase choice: shoulder minutes mix day and
 		// night modes exactly as the measured arrival process does.
-		peak := rng.Float64() < netsim.DayWeight(m%(24*60))
-		n := arr.SampleCount(peak, rng)
+		peak := uniform() < dayW[m%(24*60)]
+		n := count(peak)
+		specs = specs[:0]
 		for k := 0; k < n; k++ {
-			s, err := gen.Session(env.Models.Services[gen.PickServiceIndex()].Name)
+			idx := gen.PickServiceIndex()
+			s, err := gen.SessionFor(idx)
 			if err != nil {
 				return nil, err
 			}
-			ci, ok := toCatalog[s.Service]
-			if !ok {
+			ci := toCatalogIdx[idx]
+			if ci < 0 {
 				continue
 			}
-			_ = trace.AddSession(slicing.SessionSpec{
+			specs = append(specs, slicing.SessionSpec{
 				Service:  ci,
-				Start:    float64(m)*60 + rng.Float64()*60,
+				Start:    float64(m)*60 + uniform()*60,
 				Duration: s.Duration,
 				Volume:   s.Volume,
 			})
 		}
+		_ = trace.AddSessions(specs)
 	}
 	return trace, nil
 }
 
 // buildCategoryDemand generates a 3-row category trace from the
 // literature models with the same arrival process.
-func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.NumCategories]float64, seed int64) (*slicing.DemandTrace, error) {
+func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.NumCategories]float64, seed int64, engine core.Engine) (*slicing.DemandTrace, error) {
 	trace, err := slicing.NewDemandTrace(littrafgen.NumCategories, days*24*60)
 	if err != nil {
 		return nil, err
 	}
-	gen := littrafgen.NewGenerator(shares, seed)
+	gen := littrafgen.NewGeneratorEngine(shares, seed, engine)
+	v1 := gen.Engine == core.GenV1
 	rng := rand.New(rand.NewSource(seed ^ 0xca7e))
+	var pcg mathx.PCG
+	pcg.SeedStream(uint64(seed^0xca7e), 0xca7e, 1)
+	uniform := func() float64 {
+		if v1 {
+			return rng.Float64()
+		}
+		return pcg.Float64()
+	}
+	count := func(peak bool) int {
+		if v1 {
+			return arr.SampleCount(peak, rng)
+		}
+		return arr.SampleCountFast(peak, &pcg)
+	}
+	dayW := dayWeightTable()
+	specs := make([]slicing.SessionSpec, 0, 64)
 	for m := 0; m < days*24*60; m++ {
-		peak := rng.Float64() < netsim.DayWeight(m%(24*60))
-		n := arr.SampleCount(peak, rng)
+		peak := uniform() < dayW[m%(24*60)]
+		n := count(peak)
+		specs = specs[:0]
 		for k := 0; k < n; k++ {
 			s := gen.Sample()
-			_ = trace.AddSession(slicing.SessionSpec{
+			specs = append(specs, slicing.SessionSpec{
 				Service:  int(s.Category),
-				Start:    float64(m)*60 + rng.Float64()*60,
+				Start:    float64(m)*60 + uniform()*60,
 				Duration: s.Duration,
 				Volume:   s.Volume,
 			})
 		}
+		_ = trace.AddSessions(specs)
 	}
 	return trace, nil
 }
@@ -232,7 +294,7 @@ func ExpTable2(env *Env, cfg SlicingConfig) (*Table2Result, error) {
 			return nil, err
 		}
 		// Strategy 1: session-level model allocation.
-		modelRef, err := buildModelDemand(env, arr, refDays, numServices, catalogIdx, modelIdx, c.Seed+int64(a))
+		modelRef, err := buildModelDemand(env, arr, refDays, numServices, catalogIdx, modelIdx, c.Seed+int64(a), c.Engine)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +311,7 @@ func ExpTable2(env *Env, cfg SlicingConfig) (*Table2Result, error) {
 			{"bm_a", littrafgen.BMAShares()},
 			{"bm_b", littrafgen.BMBShares()},
 		} {
-			catRef, err := buildCategoryDemand(arr, refDays, bm.shares, c.Seed+int64(a)*7+31)
+			catRef, err := buildCategoryDemand(arr, refDays, bm.shares, c.Seed+int64(a)*7+31, c.Engine)
 			if err != nil {
 				return nil, err
 			}
@@ -319,7 +381,7 @@ func ExpFig12(env *Env, cfg SlicingConfig) (*Fig12Result, error) {
 	if refDays < 4 {
 		refDays = 4
 	}
-	ref, err := buildModelDemand(env, arr, refDays, len(env.Catalog), catalogIdx, modelIdx, c.Seed+99)
+	ref, err := buildModelDemand(env, arr, refDays, len(env.Catalog), catalogIdx, modelIdx, c.Seed+99, c.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -382,6 +444,9 @@ type VRANConfig struct {
 	RUsPerES int // radio units per ES (default 5)
 	Hours    int // emulated hours starting 08:00 (default 4)
 	Seed     int64
+	// Engine selects the generation engine for the strategy session
+	// factories; empty selects the default (core.GenV2).
+	Engine core.Engine
 }
 
 func (c VRANConfig) withDefaults() VRANConfig {
@@ -393,6 +458,9 @@ func (c VRANConfig) withDefaults() VRANConfig {
 	}
 	if c.Hours <= 0 {
 		c.Hours = 4
+	}
+	if c.Engine == "" {
+		c.Engine = core.GenV2
 	}
 	return c
 }
@@ -532,18 +600,23 @@ func ExpFig13(env *Env, cfg VRANConfig) (*Fig13Result, error) {
 		RealMeanActive: realRun.MeanActive(),
 	}
 
-	// Session factories per strategy.
+	// Session factories per strategy. On GenV1 every factory draws from
+	// the per-strategy math/rand stream exactly as the historical code
+	// did; on GenV2 each generator owns its fast PCG stream and the
+	// session-level factory draws by model index (no name round-trips).
 	type factory func(k int, rng *rand.Rand) (vol, dur float64)
 	modelFor := make([]*core.ServiceModel, len(catalogIdx))
 	for i, mi := range modelIdx {
 		modelFor[i] = &env.Models.Services[mi]
 	}
-	bmA := littrafgen.NewGenerator(littrafgen.BMAShares(), cfg.Seed+5)
-	bmB := littrafgen.NewGenerator(littrafgen.BMAShares(), cfg.Seed+6)
+	bmA := littrafgen.NewGeneratorEngine(littrafgen.BMAShares(), cfg.Seed+5, c.Engine)
+	bmB := littrafgen.NewGeneratorEngine(littrafgen.BMBShares(), cfg.Seed+6, c.Engine)
 	if realVolCount > 0 {
 		bmB.NormalizeTotal(realVolSum / realVolCount)
 	}
-	bmC := littrafgen.NewGenerator(littrafgen.BMAShares(), cfg.Seed+7)
+	// bm_c keeps the measured (bm_a) shares: its strength is the
+	// per-category normalization, not the share vector.
+	bmC := littrafgen.NewGeneratorEngine(littrafgen.BMAShares(), cfg.Seed+7, c.Engine)
 	var catMeans [littrafgen.NumCategories]float64
 	for cat := 0; cat < littrafgen.NumCategories; cat++ {
 		if catVolCount[cat] > 0 {
@@ -553,25 +626,45 @@ func ExpFig13(env *Env, cfg VRANConfig) (*Fig13Result, error) {
 	bmC.NormalizePerCategory(catMeans)
 
 	litFactory := func(gen *littrafgen.Generator) factory {
-		models := gen.Models
-		return func(k int, rng *rand.Rand) (float64, float64) {
-			cat := littrafgen.CategoryOf(env.Catalog[catalogIdx[k]])
-			s := models[cat].Sample(rng)
-			vol := s.Volume
-			if sc := gen.VolumeScale[cat]; sc > 0 && sc != 1 {
-				vol *= sc
+		if c.Engine == core.GenV1 {
+			models := gen.Models
+			return func(k int, rng *rand.Rand) (float64, float64) {
+				cat := littrafgen.CategoryOf(env.Catalog[catalogIdx[k]])
+				s := models[cat].Sample(rng)
+				vol := s.Volume
+				if sc := gen.VolumeScale[cat]; sc > 0 && sc != 1 {
+					vol *= sc
+				}
+				return vol, s.Duration
 			}
-			return vol, s.Duration
+		}
+		return func(k int, _ *rand.Rand) (float64, float64) {
+			s := gen.SampleCategory(littrafgen.CategoryOf(env.Catalog[catalogIdx[k]]))
+			return s.Volume, s.Duration
+		}
+	}
+	modelFactory := func(k int, rng *rand.Rand) (float64, float64) {
+		s := modelFor[k].Generate(rng)
+		return s.Volume, s.Duration
+	}
+	if c.Engine != core.GenV1 {
+		genModel, err := core.NewGeneratorEngine(env.Models, cfg.Seed+100, c.Engine)
+		if err != nil {
+			return nil, err
+		}
+		modelFactory = func(k int, _ *rand.Rand) (float64, float64) {
+			s, err := genModel.SessionFor(modelIdx[k])
+			if err != nil {
+				return 0, 0
+			}
+			return s.Volume, s.Duration
 		}
 	}
 	strategies := []struct {
 		name string
 		f    factory
 	}{
-		{"session-level models", func(k int, rng *rand.Rand) (float64, float64) {
-			s := modelFor[k].Generate(rng)
-			return s.Volume, s.Duration
-		}},
+		{"session-level models", modelFactory},
 		{"bm_a", litFactory(bmA)},
 		{"bm_b", litFactory(bmB)},
 		{"bm_c", litFactory(bmC)},

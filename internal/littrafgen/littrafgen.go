@@ -16,6 +16,8 @@ import (
 	"math"
 	"math/rand"
 
+	"mobiletraffic/internal/core"
+	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/services"
 )
 
@@ -151,7 +153,10 @@ func PickCategory(shares [NumCategories]float64, rng *rand.Rand) Category {
 }
 
 // Generator draws category-level sessions with the configured shares —
-// the complete benchmark workload generator.
+// the complete benchmark workload generator. It follows the versioned
+// generation engines of internal/core: GenV1 replays the historical
+// math/rand draws, GenV2 (the default) samples both log-normals in the
+// natural-log domain on a PCG stream with precomputed constants.
 type Generator struct {
 	Shares [NumCategories]float64
 	Models [NumCategories]CategoryModel
@@ -160,23 +165,89 @@ type Generator struct {
 	// against the measurement totals. Index by category; zero values
 	// mean no scaling.
 	VolumeScale [NumCategories]float64
+	Engine      core.Engine
 	rng         *rand.Rand
+	pcg         mathx.PCG
+	// Per-category log-normal constants folded into natural log so a
+	// v2 draw is one Gaussian variate and one math.Exp per marginal.
+	volMuLn, volSigLn [NumCategories]float64
+	durMuLn, durSigLn [NumCategories]float64
 }
 
-// NewGenerator builds a benchmark generator with the given shares.
+// NewGenerator builds a benchmark generator with the given shares on
+// the default engine.
 func NewGenerator(shares [NumCategories]float64, seed int64) *Generator {
-	return &Generator{Shares: shares, Models: Models(), rng: rand.New(rand.NewSource(seed))}
+	return NewGeneratorEngine(shares, seed, core.GenV2)
+}
+
+// NewGeneratorEngine builds a benchmark generator on an explicit
+// generation engine (the zero value selects the default).
+func NewGeneratorEngine(shares [NumCategories]float64, seed int64, engine core.Engine) *Generator {
+	if engine == "" {
+		engine = core.GenV2
+	}
+	g := &Generator{Shares: shares, Models: Models(), Engine: engine}
+	if engine == core.GenV1 {
+		g.rng = rand.New(rand.NewSource(seed))
+		return g
+	}
+	g.pcg.SeedStream(uint64(seed), 0x117, 3)
+	for c := 0; c < NumCategories; c++ {
+		g.volMuLn[c] = g.Models[c].VolMu * math.Ln10
+		g.volSigLn[c] = g.Models[c].VolSigma * math.Ln10
+		g.durMuLn[c] = g.Models[c].DurMu * math.Ln10
+		g.durSigLn[c] = g.Models[c].DurSigma * math.Ln10
+	}
+	return g
 }
 
 // Sample draws one session.
 func (g *Generator) Sample() Session {
-	cat := PickCategory(g.Shares, g.rng)
-	s := g.Models[cat].Sample(g.rng)
-	if sc := g.VolumeScale[cat]; sc > 0 && sc != 1 {
-		s.Volume *= sc
-		s.Throughput *= sc
+	if g.Engine == core.GenV1 {
+		cat := PickCategory(g.Shares, g.rng)
+		s := g.Models[cat].Sample(g.rng)
+		if sc := g.VolumeScale[cat]; sc > 0 && sc != 1 {
+			s.Volume *= sc
+			s.Throughput *= sc
+		}
+		return s
 	}
-	return s
+	// v2 fast path: cumulative compare over the three shares (an alias
+	// table buys nothing at n = 3), then both log-normal marginals in
+	// the natural-log domain.
+	u := g.pcg.Float64() * (g.Shares[IW] + g.Shares[CS] + g.Shares[MS])
+	cat := MS
+	if u < g.Shares[IW] {
+		cat = IW
+	} else if u < g.Shares[IW]+g.Shares[CS] {
+		cat = CS
+	}
+	return g.SampleCategory(cat)
+}
+
+// SampleCategory draws one session of a forced category on the
+// generator's own stream — the §6.2.3 shared-attribution form of
+// Sample, where the category is fixed by a shared arrival realization
+// instead of the generator's share pick.
+func (g *Generator) SampleCategory(cat Category) Session {
+	if g.Engine == core.GenV1 {
+		s := g.Models[cat].Sample(g.rng)
+		if sc := g.VolumeScale[cat]; sc > 0 && sc != 1 {
+			s.Volume *= sc
+			s.Throughput *= sc
+		}
+		return s
+	}
+	vol := math.Exp(g.volMuLn[cat] + g.volSigLn[cat]*g.pcg.NormFloat64())
+	x := g.durMuLn[cat] + g.durSigLn[cat]*g.pcg.NormFloat64()
+	dur := 1.0
+	if x > 0 {
+		dur = math.Exp(x)
+	}
+	if sc := g.VolumeScale[cat]; sc > 0 && sc != 1 {
+		vol *= sc
+	}
+	return Session{Category: cat, Volume: vol, Duration: dur, Throughput: vol / dur}
 }
 
 // NormalizeTotal configures per-category volume scaling so the

@@ -1,0 +1,81 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewAliasTableValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{0.5, -0.1, 0.6}},
+		{"nan", []float64{0.5, math.NaN()}},
+		{"inf", []float64{0.5, math.Inf(1)}},
+		{"zero-sum", []float64{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := NewAliasTable(tc.weights); err == nil {
+			t.Errorf("%s: expected construction error", tc.name)
+		}
+	}
+}
+
+func TestAliasTableEdgeUniforms(t *testing.T) {
+	tab, err := NewAliasTable([]float64{0.2, 0.3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	// u just below 1 must stay in range even after the *n scaling
+	// rounds up.
+	for _, u := range []float64{0, 0.5, math.Nextafter(1, 0)} {
+		if i := tab.Pick(u); i < 0 || i >= 3 {
+			t.Fatalf("Pick(%v) = %d out of range", u, i)
+		}
+	}
+}
+
+func TestAliasTableSingleCategory(t *testing.T) {
+	tab, err := NewAliasTable([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, 0.25, 0.999999} {
+		if i := tab.Pick(u); i != 0 {
+			t.Fatalf("Pick(%v) = %d, want 0", u, i)
+		}
+	}
+}
+
+// TestAliasTableExactMarginals checks the alias construction preserves
+// the input distribution exactly: summing each column's retained and
+// aliased probability mass recovers the normalized weights to float64
+// round-off.
+func TestAliasTableExactMarginals(t *testing.T) {
+	weights := []float64{5, 1, 0.25, 3, 0, 0.75, 2}
+	tab, err := NewAliasTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	mass := make([]float64, n)
+	for i := 0; i < n; i++ {
+		prob, alias := tab.Column(i)
+		mass[i] += prob / float64(n)
+		mass[alias] += (1 - prob) / float64(n)
+	}
+	for i, w := range weights {
+		if math.Abs(mass[i]-w/total) > 1e-12 {
+			t.Errorf("category %d: alias mass %.15f, want %.15f", i, mass[i], w/total)
+		}
+	}
+}

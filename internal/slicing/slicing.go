@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"mobiletraffic/internal/mathx"
 )
@@ -71,6 +72,18 @@ func (d *DemandTrace) AddSession(s SessionSpec) error {
 	return nil
 }
 
+// AddSessions adds a batch of sessions, stopping at the first invalid
+// spec — the bulk form of AddSession for generator trace fills working
+// from a reused session buffer.
+func (d *DemandTrace) AddSessions(specs []SessionSpec) error {
+	for i := range specs {
+		if err := d.AddSession(specs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Total returns the summed demand over all services per minute.
 func (d *DemandTrace) Total() []float64 {
 	out := make([]float64, d.Minutes)
@@ -97,8 +110,13 @@ func AllocatePercentile(ref *DemandTrace, pct float64, minuteFilter func(int) bo
 		return nil, fmt.Errorf("slicing: percentile %v outside (0, 1)", pct)
 	}
 	alloc := make(Allocation, ref.NumServices)
+	// One sample buffer reused across services: the filtered minute set
+	// has the same size for every service, so a single allocation
+	// (sorted in place per service) serves the whole pass instead of an
+	// append-grown slice plus a Quantile-internal copy per service.
+	samples := make([]float64, 0, ref.Minutes)
 	for s := 0; s < ref.NumServices; s++ {
-		var samples []float64
+		samples = samples[:0]
 		for m, v := range ref.Demand[s] {
 			if minuteFilter != nil && !minuteFilter(m) {
 				continue
@@ -108,7 +126,8 @@ func AllocatePercentile(ref *DemandTrace, pct float64, minuteFilter func(int) bo
 		if len(samples) == 0 {
 			return nil, fmt.Errorf("slicing: no minutes selected for service %d", s)
 		}
-		alloc[s] = mathx.Quantile(samples, pct)
+		sort.Float64s(samples)
+		alloc[s] = mathx.QuantileSorted(samples, pct)
 	}
 	return alloc, nil
 }

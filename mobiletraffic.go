@@ -65,6 +65,10 @@ type (
 	// GenSession is one generated session: volume, duration and mean
 	// throughput.
 	GenSession = core.GenSession
+	// GenEngine selects the generation-engine stream version: GenV1
+	// replays the historical math/rand stream byte for byte, GenV2 is
+	// the fast table-driven default.
+	GenEngine = core.Engine
 	// ServiceProfile is a ground-truth service description used by the
 	// bundled measurement simulator.
 	ServiceProfile = services.Profile
@@ -79,11 +83,28 @@ type (
 	FaultConfig = faults.Config
 )
 
+// Generation engine versions accepted by NewGeneratorEngine.
+const (
+	GenV1 = core.GenV1
+	GenV2 = core.GenV2
+)
+
 // NewGenerator validates a model set and returns a deterministic
-// session generator.
+// session generator on the default engine (GenV2).
 func NewGenerator(set *ModelSet, seed int64) (*Generator, error) {
 	return core.NewGenerator(set, seed)
 }
+
+// NewGeneratorEngine is NewGenerator with an explicit generation
+// engine: GenV1 for the historical byte-for-byte stream, GenV2 for the
+// fast table-driven default.
+func NewGeneratorEngine(set *ModelSet, seed int64, engine GenEngine) (*Generator, error) {
+	return core.NewGeneratorEngine(set, seed, engine)
+}
+
+// ParseGenEngine validates a generation-engine version string ("" and
+// "v2" select the default, "v1" the historical stream).
+func ParseGenEngine(s string) (GenEngine, error) { return core.ParseEngine(s) }
 
 // ParseModels reads a released parameter file (JSON).
 func ParseModels(data []byte) (*ModelSet, error) { return core.ModelSetFromJSON(data) }
