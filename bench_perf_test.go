@@ -6,6 +6,7 @@ package mobiletraffic
 // (AggregateVolume). BENCH_pr3.json records their trajectory.
 
 import (
+	"context"
 	"testing"
 
 	"mobiletraffic/internal/experiments"
@@ -46,6 +47,32 @@ func BenchmarkCollectorObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := coll.Observe(s); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignResume times the resume path of the fault-tolerant
+// sharded runner: every shard loads from its checkpoint (codec decode +
+// CRC), the partials fold in shard order, and the models refit — the
+// cost of restarting an interrupted nationwide campaign, with zero
+// re-simulation.
+func BenchmarkCampaignResume(b *testing.B) {
+	dir := b.TempDir()
+	cfg := experiments.Config{NumBS: 20, Days: 3, Seed: 1}
+	opts := experiments.CampaignOptions{Shards: 4, CheckpointDir: dir}
+	if _, _, err := experiments.NewEnvSharded(context.Background(), cfg, opts); err != nil {
+		b.Fatal(err)
+	}
+	opts.Resume = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, report, err := experiments.NewEnvSharded(context.Background(), cfg, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Resumed != 4 || len(env.Models.Services) == 0 {
+			b.Fatalf("resume did not cover the campaign: %s", report.Summary())
 		}
 	}
 }

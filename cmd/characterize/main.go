@@ -7,13 +7,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"mobiletraffic/internal/campaign"
 	"mobiletraffic/internal/experiments"
+	"mobiletraffic/internal/faults"
 	"mobiletraffic/internal/netsim"
 	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/probe"
@@ -29,6 +35,21 @@ func main() {
 		deciles = flag.String("deciles", "0,3,6,9", "comma-separated BS load deciles for arrival PDFs")
 		sampler = flag.String("sampler", "v2", "synthesis sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
 		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. :9090)")
+
+		// Fault-tolerant sharded campaign (internal/campaign). Any of
+		// -shards/-checkpoint-dir/-resume selects the supervised path.
+		shards  = flag.Int("shards", 0, "split the campaign into this many supervised BS-range shards (0 = in-process collection; -checkpoint-dir or -resume implies one shard per CPU)")
+		workers = flag.Int("workers", 0, "bound concurrent shard attempts (0 = one per CPU)")
+		ckptDir = flag.String("checkpoint-dir", "", "write crash-safe per-shard checkpoints and a campaign manifest into this directory")
+		resume  = flag.Bool("resume", false, "load completed shard checkpoints from -checkpoint-dir instead of recomputing them")
+		shardTO = flag.Duration("shard-timeout", 0, "abort and retry a shard attempt running longer than this (0 = no timeout)")
+		retries = flag.Int("max-retries", 2, "per-shard retry budget after the first attempt; an exhausted shard degrades the campaign instead of failing it")
+		mdlOut  = flag.String("model-out", "", "write the fitted ModelSet JSON to this file")
+
+		// Chaos knobs: process-level fault injection into shard workers,
+		// for supervisor testing and the CI kill/resume job.
+		faultSlow  = flag.Duration("fault-slow-shard", 0, "chaos: add this latency to every shard attempt (slow-worker fault; stretches the campaign so an external SIGKILL lands mid-run)")
+		faultCrash = flag.Int("fault-crash-shard", -1, "chaos: panic the first attempt of this shard index (exercises supervised retry)")
 	)
 	flag.Parse()
 
@@ -48,10 +69,66 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days)...\n", *numBS, *days)
-	env, err := experiments.NewEnv(experiments.Config{NumBS: *numBS, Days: *days, Seed: *seed, Sampler: samplerV})
-	if err != nil {
-		fatal(err)
+	cfg := experiments.Config{NumBS: *numBS, Days: *days, Seed: *seed, Sampler: samplerV}
+	sharded := *shards > 0 || *ckptDir != "" || *resume
+	var env *experiments.Env
+	if sharded {
+		// SIGINT/SIGTERM no longer kill the campaign outright: the
+		// context cancels, in-flight shards stop, and the supervisor
+		// writes the final manifest so completed shards' checkpoints
+		// are picked up by a -resume run.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		opts := experiments.CampaignOptions{
+			Shards:        *shards,
+			Workers:       *workers,
+			CheckpointDir: *ckptDir,
+			Resume:        *resume,
+			ShardTimeout:  *shardTO,
+			MaxRetries:    *retries,
+		}
+		if *faultSlow > 0 || *faultCrash >= 0 {
+			pc := faults.ProcessConfig{SlowShardDelay: *faultSlow}
+			if *faultCrash >= 0 {
+				pc.CrashShard = *faultCrash
+				pc.CrashAttempts = 1
+			}
+			proc, err := faults.NewProcess(pc)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Process = proc
+		}
+		fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days, sharded campaign)...\n", *numBS, *days)
+		var report *campaign.Report
+		env, report, err = experiments.NewEnvSharded(ctx, cfg, opts)
+		if report != nil {
+			fmt.Fprintln(os.Stderr, report.Summary())
+		}
+		if err != nil {
+			if errors.Is(err, campaign.ErrInterrupted) {
+				fmt.Fprintf(os.Stderr, "characterize: interrupted; completed shards are checkpointed under %s — re-run with -resume to continue\n", *ckptDir)
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "building environment (%d BSs x %d days)...\n", *numBS, *days)
+		env, err = experiments.NewEnv(cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *mdlOut != "" {
+		data, err := env.Models.ToJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*mdlOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote model set (%d services) to %s\n", len(env.Models.Services), *mdlOut)
 	}
 
 	// Per-service volume PDFs and duration-volume pairs.

@@ -102,7 +102,8 @@ func main() {
 	if len(want) == 0 {
 		want = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
 			"fig10", "quality", "table1", "table2", "fig12", "fig13", "ablations",
-			"applayer", "stability", "fidelity", "diurnal", "drift", "chaos"}
+			"applayer", "stability", "fidelity", "diurnal", "drift", "chaos",
+			"killresume"}
 	}
 
 	samplerV, err := netsim.ParseSampler(*sampler)
@@ -204,6 +205,9 @@ func main() {
 			render(r, err)
 		case "chaos":
 			r, err := experiments.ExpChaos(env, experiments.ChaosConfig{})
+			render(r, err)
+		case "killresume":
+			r, err := experiments.ExpKillResume(env, experiments.KillResumeConfig{})
 			render(r, err)
 		case "ablations":
 			for _, run := range []func(*experiments.Env) (*experiments.AblationResult, error){

@@ -1,0 +1,159 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the campaign manifest's file name inside the
+// checkpoint directory.
+const ManifestName = "manifest.json"
+
+// manifestVersion guards the manifest schema the same way the
+// checkpoint codec version guards the binary cell format.
+const manifestVersion = 1
+
+// ShardStatus is the durable state of one shard in the manifest and in
+// the CampaignReport.
+type ShardStatus string
+
+const (
+	// ShardPending — not yet attempted (or attempt lost to a crash:
+	// a shard whose worker died never leaves pending, which is exactly
+	// what makes resume recompute it).
+	ShardPending ShardStatus = "pending"
+	// ShardDone — completed and, when checkpointing is on, durably
+	// checkpointed.
+	ShardDone ShardStatus = "done"
+	// ShardResumed — completed in an earlier run; its checkpoint was
+	// loaded instead of recomputing.
+	ShardResumed ShardStatus = "resumed"
+	// ShardFailed — exhausted its retry budget; the campaign completed
+	// without it (graceful degradation).
+	ShardFailed ShardStatus = "failed"
+	// ShardInterrupted — the campaign was canceled (SIGINT/SIGTERM)
+	// before the shard completed.
+	ShardInterrupted ShardStatus = "interrupted"
+)
+
+// ManifestShard is one shard's durable record.
+type ManifestShard struct {
+	Index      int         `json:"index"`
+	StartBS    int         `json:"start_bs"`
+	EndBS      int         `json:"end_bs"`
+	Status     ShardStatus `json:"status"`
+	Attempts   int         `json:"attempts"`
+	Checkpoint string      `json:"checkpoint,omitempty"` // file name, relative to the manifest dir
+	Error      string      `json:"error,omitempty"`
+}
+
+// Manifest is the campaign's durable control record: which
+// configuration produced it (as a hash, so resuming under a different
+// config is refused rather than silently merging incompatible shards)
+// and the status of every shard. It is rewritten atomically after
+// every shard transition, so at any crash point it describes exactly
+// which checkpoints are valid.
+type Manifest struct {
+	Version    int             `json:"version"`
+	ConfigHash string          `json:"config_hash"`
+	NumBS      int             `json:"num_bs"`
+	Shards     []ManifestShard `json:"shards"`
+}
+
+// ConfigHash folds the campaign-identifying parts into a hex digest.
+// Any field that changes the shard contents or boundaries must be
+// represented in parts.
+func ConfigHash(parts ...interface{}) string {
+	h := sha256.New()
+	fmt.Fprintln(h, parts...)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// checkpointName is the per-shard checkpoint file name.
+func checkpointName(index int) string {
+	return fmt.Sprintf("shard-%04d.ckpt", index)
+}
+
+// WriteFile writes the manifest crash-safely into dir: temp file,
+// fsync, rename, directory fsync — the same protocol as the shard
+// checkpoints, so a crash never leaves a torn manifest.
+func (m *Manifest) WriteFile(dir string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: manifest encode: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("campaign: manifest temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: manifest write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: manifest fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: manifest close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("campaign: manifest rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// LoadManifest reads the manifest from dir. A missing manifest returns
+// (nil, nil): the directory holds no resumable campaign.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: manifest read: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: manifest parse: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("campaign: manifest version %d (have %d)", m.Version, manifestVersion)
+	}
+	return &m, nil
+}
+
+// matches reports whether the manifest was produced by the same
+// campaign configuration and shard plan.
+func (m *Manifest) matches(hash string, plan []Shard) error {
+	if m.ConfigHash != hash {
+		return fmt.Errorf("campaign: checkpoint dir belongs to a different campaign config (manifest hash %.12s, current %.12s)", m.ConfigHash, hash)
+	}
+	if len(m.Shards) != len(plan) {
+		return fmt.Errorf("campaign: manifest has %d shards, current plan %d", len(m.Shards), len(plan))
+	}
+	for i, sh := range plan {
+		ms := m.Shards[i]
+		if ms.Index != sh.Index || ms.StartBS != sh.StartBS || ms.EndBS != sh.EndBS {
+			return fmt.Errorf("campaign: manifest shard %d spans [%d,%d), current plan [%d,%d)",
+				i, ms.StartBS, ms.EndBS, sh.StartBS, sh.EndBS)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable;
+// best-effort, mirroring probe.WriteCheckpointFile.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

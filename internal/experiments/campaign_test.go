@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"mobiletraffic/internal/faults"
+)
+
+// TestShardedBitIdentity is the acceptance gate of the sharded runner:
+// for shard counts 1, 4 and 7 the fitted ModelSet JSON must be
+// byte-identical to the in-process NewEnv pipeline.
+func TestShardedBitIdentity(t *testing.T) {
+	cfg := Config{NumBS: 11, Days: 2, Seed: 11}
+	ref, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.Models.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 7} {
+		env, report, err := NewEnvSharded(context.Background(), cfg, CampaignOptions{Shards: shards})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if report.Degraded() || report.Completed != shards {
+			t.Fatalf("%d shards: report %+v", shards, report)
+		}
+		got, err := env.Models.ToJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, got) {
+			t.Fatalf("%d shards: ModelSet JSON differs from the in-process reference", shards)
+		}
+	}
+}
+
+// TestShardedWithDataFaults verifies the sharded runner composes with
+// the data-plane fault injector identically to the in-process path:
+// fault streams are per-(BS, day), so sharding must not change the
+// realization.
+func TestShardedWithDataFaults(t *testing.T) {
+	cfg := Config{NumBS: 10, Days: 1, Seed: 13}
+	fcfg := faults.Config{OutageProb: 0.2, FlowLossProb: 0.1, Seed: 5}
+
+	numServices := catalogSize(t, cfg.Seed)
+	env := func(shards int) []byte {
+		t.Helper()
+		inj, err := faults.New(fcfg, numServices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, rep, err := NewEnvSharded(context.Background(), cfg, CampaignOptions{Shards: shards, Faults: inj})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if rep.Degraded() {
+			t.Fatalf("%d shards: degraded report %+v", shards, rep)
+		}
+		j, err := e.Models.ToJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	a, b := env(1), env(3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("fault-injected campaign differs across shard counts")
+	}
+}
+
+// catalogSize builds a minimal environment just to learn the service
+// catalog size (the fault injector needs the count up front).
+func catalogSize(t *testing.T, seed int64) int {
+	t.Helper()
+	e, err := NewEnv(Config{NumBS: 10, Days: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(e.Catalog)
+}
+
+// TestShardedResumeRejectsOtherConfig verifies the manifest config hash
+// covers the experiment parameters: a checkpoint directory written
+// under one seed refuses to resume under another.
+func TestShardedResumeRejectsOtherConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{NumBS: 10, Days: 1, Seed: 3}
+	if _, _, err := NewEnvSharded(context.Background(), cfg, CampaignOptions{Shards: 2, CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed = 4
+	_, _, err := NewEnvSharded(context.Background(), other, CampaignOptions{Shards: 2, CheckpointDir: dir, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different campaign config") {
+		t.Fatalf("seed change: err = %v", err)
+	}
+}
+
+// TestExpKillResume runs the full chaos experiment at small scale: all
+// three phases (crash-retry, kill/resume, retry exhaustion) across a
+// couple of shard counts, asserting the determinism columns.
+func TestExpKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	env, err := NewEnv(Config{NumBS: 11, Days: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ExpKillResume(env, KillResumeConfig{ShardCounts: []int{1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.CrashIdentical {
+			t.Errorf("%d shards: crash-retry fit differs from the reference", row.Shards)
+		}
+		if row.CrashRetries < 1 {
+			t.Errorf("%d shards: crash phase recorded no retry", row.Shards)
+		}
+		if !row.ResumeIdentical {
+			t.Errorf("%d shards: resumed fit differs from the reference", row.Shards)
+		}
+		if row.Shards > 1 {
+			if row.KilledShards < 1 || row.ResumedShards < 1 {
+				t.Errorf("%d shards: kill/resume phase killed %d, resumed %d", row.Shards, row.KilledShards, row.ResumedShards)
+			}
+			if row.DegradedFailed != 1 || row.DegradedLostBS < 1 {
+				t.Errorf("%d shards: degraded phase %+v", row.Shards, row)
+			}
+			if row.DegradedFitted < 1 {
+				t.Errorf("%d shards: degraded campaign fitted no services", row.Shards)
+			}
+		}
+	}
+	if got := r.Table().Render(); !strings.Contains(got, "kill/resume") {
+		t.Fatalf("table render missing title: %q", got)
+	}
+}
+
+// TestCampaignInterruptPath verifies the cmd/characterize contract: a
+// canceled campaign surfaces campaign.ErrInterrupted and leaves a
+// resumable checkpoint directory behind.
+func TestCampaignInterruptPath(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{NumBS: 10, Days: 1, Seed: 19}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the "signal" arrives before any shard completes
+	_, _, err := NewEnvSharded(ctx, cfg, CampaignOptions{Shards: 3, CheckpointDir: dir})
+	if err == nil {
+		t.Fatal("pre-canceled campaign must error")
+	}
+	// Nothing completed, so the merge has nothing; a live resume run
+	// then computes everything and matches the reference.
+	ref, err := NewEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.Models.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, rep, err := NewEnvSharded(context.Background(), cfg, CampaignOptions{Shards: 3, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("resume-after-abort report %+v", rep)
+	}
+	got, err := env.Models.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, got) {
+		t.Fatal("resume after aborted campaign differs from the reference")
+	}
+}

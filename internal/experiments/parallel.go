@@ -131,34 +131,7 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 			s.SetTID(1 + w)
 			workerSpans[w] = s
 		}
-		coll := partials[w]
-		for day := 0; day < days; day++ {
-			var stream *faults.DayStream
-			if inj != nil {
-				stream = inj.Day(bs, day)
-				if stream.Down() {
-					continue // whole-day probe outage: nothing is exported
-				}
-			}
-			flush := coll.ObserveBatch
-			if stream != nil {
-				flush = func(batch []netsim.Session) error {
-					var obsErr error
-					for i := range batch {
-						stream.Apply(batch[i], func(s netsim.Session) {
-							if obsErr == nil {
-								obsErr = coll.Observe(s)
-							}
-						})
-					}
-					return obsErr
-				}
-			}
-			if err := sim.GenerateDayBatch(bs, day, bufs[w], flush); err != nil {
-				return err
-			}
-		}
-		return nil
+		return collectBS(sim, partials[w], bufs[w], inj, bs, days)
 	})
 	for _, s := range workerSpans {
 		s.End()
@@ -175,4 +148,40 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 		return nil, err
 	}
 	return out, nil
+}
+
+// collectBS simulates every day of one base station into coll, routing
+// each session through the optional fault injector's per-(BS, day)
+// stream and reusing buf as the generation batch buffer. It is the
+// shared per-BS body of the in-process parallel collector (collect)
+// and the sharded campaign workers (CollectSharded) — both therefore
+// observe bit-identical cell statistics for a given (BS, day).
+func collectBS(sim *netsim.Simulator, coll *probe.Collector, buf []netsim.Session, inj *faults.Injector, bs, days int) error {
+	for day := 0; day < days; day++ {
+		var stream *faults.DayStream
+		if inj != nil {
+			stream = inj.Day(bs, day)
+			if stream.Down() {
+				continue // whole-day probe outage: nothing is exported
+			}
+		}
+		flush := coll.ObserveBatch
+		if stream != nil {
+			flush = func(batch []netsim.Session) error {
+				var obsErr error
+				for i := range batch {
+					stream.Apply(batch[i], func(s netsim.Session) {
+						if obsErr == nil {
+							obsErr = coll.Observe(s)
+						}
+					})
+				}
+				return obsErr
+			}
+		}
+		if err := sim.GenerateDayBatch(bs, day, buf, flush); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mobiletraffic/internal/obs"
+)
+
+// Process-level fault modes. The data-plane Injector corrupts what a
+// probe exports; these corrupt the worker that does the exporting — a
+// shard process that panics, hangs, or runs pathologically slowly.
+// They exist to exercise the campaign supervisor (internal/campaign):
+// panic capture, per-shard timeouts, bounded retry, and
+// checkpoint/resume are only trustworthy if a test can kill workers on
+// demand and deterministic reruns can prove recovery changed nothing.
+
+// ProcessConfig selects which shards misbehave and how often. The zero
+// value injects nothing.
+type ProcessConfig struct {
+	// CrashShard panics the first CrashAttempts attempts of this shard
+	// index (a crashed worker, captured by the supervisor and
+	// retried). CrashAttempts = 0 disables crashing.
+	CrashShard    int
+	CrashAttempts int
+	// HangShard blocks the first HangAttempts attempts of this shard
+	// until the shard context is canceled — a hung worker, recovered
+	// only by the supervisor's ShardTimeout. HangAttempts = 0 disables
+	// hanging.
+	HangShard    int
+	HangAttempts int
+	// FailFromShard, when > 0, permanently fails every attempt of
+	// every shard with index >= FailFromShard — the in-process stand-in
+	// for a SIGKILLed campaign: shards below the cut complete and
+	// checkpoint, the rest never finish, and a resumed run must
+	// recompute exactly them. (Shard 0 cannot be targeted; a campaign
+	// killed before any shard completes is just a fresh start.)
+	FailFromShard int
+	// SlowShardDelay adds a fixed latency to every shard attempt — the
+	// slow-worker mode that stretches a campaign so an external kill
+	// (or a ShardTimeout) reliably lands mid-run.
+	SlowShardDelay time.Duration
+}
+
+// ProcessFaults gates shard-worker attempts with the configured
+// process-level faults. Shard workers call Attempt before doing any
+// shard work (see experiments.CollectSharded), so a crashed or hung
+// attempt never emits a partial collector. Fault decisions depend only
+// on (shard index, attempt), so a faulted campaign is reproducible
+// regardless of worker parallelism.
+type ProcessFaults struct {
+	cfg     ProcessConfig
+	obsKind struct {
+		crash, hang, slow, fail *obs.Counter
+	}
+}
+
+// NewProcess builds a process-level fault injector.
+func NewProcess(cfg ProcessConfig) (*ProcessFaults, error) {
+	if cfg.CrashAttempts < 0 || cfg.HangAttempts < 0 {
+		return nil, fmt.Errorf("faults: negative process fault attempt counts")
+	}
+	if cfg.SlowShardDelay < 0 {
+		return nil, fmt.Errorf("faults: negative slow-shard delay")
+	}
+	p := &ProcessFaults{cfg: cfg}
+	p.obsKind.crash = obs.CounterOf("faults_injected_total", "kind", "proc_crash")
+	p.obsKind.hang = obs.CounterOf("faults_injected_total", "kind", "proc_hang")
+	p.obsKind.slow = obs.CounterOf("faults_injected_total", "kind", "proc_slow")
+	p.obsKind.fail = obs.CounterOf("faults_injected_total", "kind", "proc_fail")
+	return p, nil
+}
+
+// Config returns the injector's configuration.
+func (p *ProcessFaults) Config() ProcessConfig { return p.cfg }
+
+// Attempt fires the faults configured for one shard attempt (attempts
+// count from 1): it panics for an injected crash, blocks until ctx
+// cancellation for an injected hang, returns an error for a permanent
+// failure, and sleeps for the slow-worker delay. A nil receiver and a
+// fault-free attempt both return nil immediately.
+func (p *ProcessFaults) Attempt(ctx context.Context, shard, attempt int) error {
+	if p == nil {
+		return nil
+	}
+	cfg := &p.cfg
+	if cfg.FailFromShard > 0 && shard >= cfg.FailFromShard {
+		p.obsKind.fail.Inc()
+		return fmt.Errorf("faults: injected permanent failure of shard %d (fail-from %d)", shard, cfg.FailFromShard)
+	}
+	if cfg.CrashAttempts > 0 && shard == cfg.CrashShard && attempt <= cfg.CrashAttempts {
+		p.obsKind.crash.Inc()
+		panic(fmt.Sprintf("faults: injected crash of shard %d attempt %d", shard, attempt))
+	}
+	if cfg.HangAttempts > 0 && shard == cfg.HangShard && attempt <= cfg.HangAttempts {
+		p.obsKind.hang.Inc()
+		<-ctx.Done() // hung worker: only the shard timeout frees it
+		return fmt.Errorf("faults: injected hang of shard %d attempt %d: %w", shard, attempt, ctx.Err())
+	}
+	if cfg.SlowShardDelay > 0 {
+		p.obsKind.slow.Inc()
+		select {
+		case <-time.After(cfg.SlowShardDelay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}

@@ -28,19 +28,92 @@ func (c *Collector) Merge(other *Collector) error {
 // chain, so the result is bit-identical regardless of worker count.
 func (c *Collector) MergeAll(others []*Collector, workers int) error {
 	for _, other := range others {
-		if other == nil {
-			obs.CounterOf("probe_merge_conflicts_total", "kind", "nil").Inc()
-			return errors.New("probe: merge with nil collector")
-		}
-		if c.NumServices != other.NumServices {
-			obs.CounterOf("probe_merge_conflicts_total", "kind", "services").Inc()
-			return fmt.Errorf("probe: merge service counts differ: %d vs %d", c.NumServices, other.NumServices)
-		}
-		if !sameEdges(c.VolumeEdges, other.VolumeEdges) || !sameEdges(c.DurationEdges, other.DurationEdges) {
-			obs.CounterOf("probe_merge_conflicts_total", "kind", "grids").Inc()
-			return errors.New("probe: merge grids differ")
+		if kind, err := c.mergeCheck(other); err != nil {
+			obs.CounterOf("probe_merge_conflicts_total", "kind", kind).Inc()
+			return err
 		}
 	}
+	c.mergeChecked(others, workers)
+	return nil
+}
+
+// mergeCheck validates that other can fold into c, returning the
+// conflict kind (the probe_merge_conflicts_total label) on failure.
+func (c *Collector) mergeCheck(other *Collector) (kind string, err error) {
+	if other == nil {
+		return "nil", errors.New("probe: merge with nil collector")
+	}
+	if c.NumServices != other.NumServices {
+		return "services", fmt.Errorf("probe: merge service counts differ: %d vs %d", c.NumServices, other.NumServices)
+	}
+	if !sameEdges(c.VolumeEdges, other.VolumeEdges) || !sameEdges(c.DurationEdges, other.DurationEdges) {
+		return "grids", errors.New("probe: merge grids differ")
+	}
+	return "", nil
+}
+
+// MergePartial is the fate of one partial collector in a
+// MergeAllReport call.
+type MergePartial struct {
+	Index  int    // position in the input slice
+	Merged bool   // folded into the destination
+	Reason string // why the partial was skipped (empty when merged)
+}
+
+// MergeReport accounts for every partial offered to MergeAllReport.
+type MergeReport struct {
+	Partials []MergePartial
+	Merged   int
+	Skipped  int
+}
+
+// Degraded reports whether any partial was skipped.
+func (r *MergeReport) Degraded() bool { return r.Skipped > 0 }
+
+// Summary renders a one-line account of the merge.
+func (r *MergeReport) Summary() string {
+	if !r.Degraded() {
+		return fmt.Sprintf("merged %d/%d partials", r.Merged, len(r.Partials))
+	}
+	s := fmt.Sprintf("merged %d/%d partials;", r.Merged, len(r.Partials))
+	for _, p := range r.Partials {
+		if !p.Merged {
+			s += fmt.Sprintf(" #%d skipped (%s)", p.Index, p.Reason)
+		}
+	}
+	return s
+}
+
+// MergeAllReport is the graceful-degradation variant of MergeAll: nil
+// or grid/service-mismatched partials are skipped — and counted via
+// probe_merge_conflicts_total — instead of aborting the fold, so a
+// campaign that lost a shard still aggregates everything that
+// survived. The returned report records the fate of every partial;
+// merge order among the surviving partials is their slice order, the
+// same bit-identity contract as MergeAll.
+func (c *Collector) MergeAllReport(others []*Collector, workers int) (*MergeReport, error) {
+	report := &MergeReport{Partials: make([]MergePartial, len(others))}
+	good := make([]*Collector, 0, len(others))
+	for i, other := range others {
+		p := MergePartial{Index: i}
+		if kind, err := c.mergeCheck(other); err != nil {
+			obs.CounterOf("probe_merge_conflicts_total", "kind", kind).Inc()
+			p.Reason = err.Error()
+			report.Skipped++
+		} else {
+			p.Merged = true
+			report.Merged++
+			good = append(good, other)
+		}
+		report.Partials[i] = p
+	}
+	c.mergeChecked(good, workers)
+	return report, nil
+}
+
+// mergeChecked folds pre-validated partials into c; see MergeAll for
+// the determinism argument.
+func (c *Collector) mergeChecked(others []*Collector, workers int) {
 	// Grow the destination slab once, up front, so the per-service
 	// shards only ever write disjoint index ranges.
 	maxBS, maxDays := c.numBS, c.days
@@ -65,7 +138,7 @@ func (c *Collector) MergeAll(others []*Collector, workers int) error {
 		for svc := 0; svc < c.NumServices; svc++ {
 			c.mergeService(svc, others)
 		}
-		return nil
+		return
 	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
@@ -84,7 +157,6 @@ func (c *Collector) MergeAll(others []*Collector, workers int) error {
 		}()
 	}
 	wg.Wait()
-	return nil
 }
 
 // mergeService folds one service's cells from every partial, in partial

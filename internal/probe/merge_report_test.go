@@ -1,0 +1,73 @@
+package probe
+
+import (
+	"strings"
+	"testing"
+
+	"mobiletraffic/internal/netsim"
+)
+
+// TestMergeAllReport exercises the graceful-degradation fold: bad
+// partials (nil, service mismatch, grid mismatch) are skipped with a
+// recorded reason while every good partial still lands in the
+// destination.
+func TestMergeAllReport(t *testing.T) {
+	mk := func(svc, bs int, vol float64) *Collector {
+		t.Helper()
+		c, err := NewCollector(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Observe(netsim.Session{Service: svc, BS: bs, Day: 0, Minute: 10, Volume: vol, Duration: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	dst, err := NewCollector(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongServices, _ := NewCollector(4)
+	wrongGrid, _ := NewCollector(3)
+	wrongGrid.VolumeEdges = wrongGrid.VolumeEdges[:len(wrongGrid.VolumeEdges)-1]
+
+	partials := []*Collector{mk(0, 0, 1e5), nil, wrongServices, mk(1, 1, 2e5), wrongGrid}
+	report, err := dst.MergeAllReport(partials, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Merged != 2 || report.Skipped != 3 {
+		t.Fatalf("merged/skipped = %d/%d, want 2/3", report.Merged, report.Skipped)
+	}
+	if !report.Degraded() {
+		t.Fatal("a fold that skipped partials must report Degraded")
+	}
+	wantMerged := []bool{true, false, false, true, false}
+	for i, p := range report.Partials {
+		if p.Index != i || p.Merged != wantMerged[i] {
+			t.Fatalf("partial %d: %+v, want merged=%v", i, p, wantMerged[i])
+		}
+		if !p.Merged && p.Reason == "" {
+			t.Fatalf("skipped partial %d has no reason", i)
+		}
+	}
+	if s := report.Summary(); !strings.Contains(s, "skipped") {
+		t.Fatalf("summary %q does not mention skipped partials", s)
+	}
+	// Both good partials landed: two populated cells.
+	if got := len(dst.Keys()); got != 2 {
+		t.Fatalf("destination has %d cells, want 2", got)
+	}
+
+	// An all-good fold is not degraded and matches MergeAll exactly.
+	dst2, _ := NewCollector(3)
+	good := []*Collector{mk(0, 0, 1e5), mk(1, 1, 2e5)}
+	report2, err := dst2.MergeAllReport(good, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report2.Degraded() || report2.Merged != 2 {
+		t.Fatalf("all-good fold degraded: %+v", report2)
+	}
+	sameCollector(t, dst, dst2)
+}
