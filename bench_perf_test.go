@@ -7,11 +7,15 @@ package mobiletraffic
 
 import (
 	"context"
+	"math"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"mobiletraffic/internal/experiments"
 	"mobiletraffic/internal/netsim"
 	"mobiletraffic/internal/probe"
+	"mobiletraffic/internal/trace"
 )
 
 // BenchmarkNewEnv times the whole campaign-to-model pipeline at the
@@ -76,6 +80,76 @@ func BenchmarkCampaignResume(b *testing.B) {
 		}
 	}
 }
+
+// traceBenchRecords builds a decimal-quantized 1M-session stream — the
+// interchange population the CSV surface produces (%.3f/%.0f values,
+// nearly sorted establishment times) that the MTTR columnar encodings
+// target.
+var traceBenchRecords = sync.OnceValue(func() []trace.Record {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(7))
+	svcs := []string{"Netflix", "Twitch", "Waze", "Google Meet", "Pokemon GO", "Spotify"}
+	q := func(v float64) float64 { return math.Round(v*1000) / 1000 }
+	out := make([]trace.Record, n)
+	tm := 0.0
+	for i := range out {
+		tm += rng.Float64() * 0.12
+		vol := math.Round(100 + math.Exp(rng.NormFloat64()*2+12))
+		dur := q(0.5 + math.Exp(rng.NormFloat64()+3))
+		out[i] = trace.Record{
+			TimeS:      q(tm),
+			Service:    svcs[rng.Intn(len(svcs))],
+			Bytes:      vol,
+			DurationS:  dur,
+			Throughput: q(vol / dur),
+		}
+	}
+	return out
+})
+
+// countingDiscard counts bytes so the benchmark can report the encoded
+// trace size without holding it.
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// benchmarkTraceWrite times encoding the 1M-record stream in one trace
+// format, reporting per-record time and the encoded size.
+func benchmarkTraceWrite(b *testing.B, format trace.Format) {
+	recs := traceBenchRecords()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var size int64
+	for i := 0; i < b.N; i++ {
+		cw := &countingDiscard{}
+		w, err := trace.NewWriter(cw, format)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range recs {
+			if err := w.Write(recs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		size = cw.n
+	}
+	b.ReportMetric(float64(size)/float64(len(recs)), "bytes/record")
+}
+
+// BenchmarkTraceWriteCSV is the interchange baseline MTTR is judged
+// against (BENCH_pr7.json records the ratio).
+func BenchmarkTraceWriteCSV(b *testing.B) { benchmarkTraceWrite(b, trace.CSV) }
+
+// BenchmarkTraceWriteBin times the MTTR columnar binary writer on the
+// same 1M-record stream: the acceptance bar is ≥3× fewer bytes and
+// ≥2× less wall time than CSV.
+func BenchmarkTraceWriteBin(b *testing.B) { benchmarkTraceWrite(b, trace.Bin) }
 
 // BenchmarkAggregateVolume times the Eq. (2) nationwide per-service
 // volume aggregation over a realistic campaign's cell population.

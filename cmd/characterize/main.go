@@ -34,7 +34,7 @@ func main() {
 			"comma-separated services to characterize")
 		deciles = flag.String("deciles", "0,3,6,9", "comma-separated BS load deciles for arrival PDFs")
 		sampler = flag.String("sampler", "v2", "synthesis sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
-		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. :9090)")
+		mAddr   = flag.String("metrics-addr", "", "serve /metrics, /statusz, /events, /spans and /debug/pprof on this address (e.g. :9090)")
 
 		// Fault-tolerant sharded campaign (internal/campaign). Any of
 		// -shards/-checkpoint-dir/-resume selects the supervised path.
@@ -44,6 +44,7 @@ func main() {
 		resume  = flag.Bool("resume", false, "load completed shard checkpoints from -checkpoint-dir instead of recomputing them")
 		shardTO = flag.Duration("shard-timeout", 0, "abort and retry a shard attempt running longer than this (0 = no timeout)")
 		retries = flag.Int("max-retries", 2, "per-shard retry budget after the first attempt; an exhausted shard degrades the campaign instead of failing it")
+		stallTO = flag.Duration("stall-after", 0, "flag a shard as stalled (flight-recorder event + campaign_shards_stalled_total) when its heartbeat goes quiet this long (0 = off)")
 		mdlOut  = flag.String("model-out", "", "write the fitted ModelSet JSON to this file")
 
 		// Chaos knobs: process-level fault injection into shard workers,
@@ -62,7 +63,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics: serving /metrics and /debug/pprof on %s\n", addr)
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /statusz and /debug/pprof on %s\n", addr)
 	}
 
 	samplerV, err := netsim.ParseSampler(*sampler)
@@ -86,6 +87,7 @@ func main() {
 			Resume:        *resume,
 			ShardTimeout:  *shardTO,
 			MaxRetries:    *retries,
+			StallAfter:    *stallTO,
 		}
 		if *faultSlow > 0 || *faultCrash >= 0 {
 			pc := faults.ProcessConfig{SlowShardDelay: *faultSlow}

@@ -39,7 +39,7 @@ func main() {
 		hours    = flag.Int("hours", 4, "emulated hours in the vRAN study")
 		format   = flag.String("format", "table", "output format: table or csv")
 		verbose  = flag.Bool("v", false, "print per-experiment timing and stage-span summaries to stderr")
-		mAddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /spans, /trace and /debug/pprof on this address (e.g. :9090)")
+		mAddr    = flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /statusz, /events, /spans, /trace and /debug/pprof on this address (e.g. :9090)")
 		mHold    = flag.Bool("metrics-hold", false, "after the run, keep serving -metrics-addr until interrupted")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")

@@ -11,6 +11,8 @@
 //	sessiongen -minutes 60 -class 9 > trace.csv
 //	sessiongen -dump-models > params.json
 //	sessiongen -models params.json -minutes 1440 -format json > day.json
+//	sessiongen -minutes 1440 -format bin > day.mttr
+//	sessiongen -minutes 1440 -metrics-addr :9090 > day.csv   # watch /statusz
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"mobiletraffic"
 	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/trace"
 )
 
@@ -31,13 +34,27 @@ func main() {
 		startMin   = flag.Int("start", 8*60, "starting minute of day (determines day/night arrival mode)")
 		class      = flag.Int("class", 9, "BS load class (decile index 0-9)")
 		seed       = flag.Int64("seed", 1, "random seed")
-		format     = flag.String("format", "csv", "output format: csv or json")
+		format     = flag.String("format", "csv", "output format: csv, json or bin (MTTR columnar binary with embedded summary)")
 		fitBS      = flag.Int("fit-bs", 20, "base stations in the fitting simulation")
 		fitDays    = flag.Int("fit-days", 3, "days in the fitting simulation")
 		sampler    = flag.String("sampler", "v2", "fitting-simulation sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
 		genEngine  = flag.String("gen", "v2", "generation engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
+		mAddr      = flag.String("metrics-addr", "", "serve /metrics, /statusz, /events and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
+
+	// The registry must be installed before the models are fitted or
+	// the generator built: components cache their metric handles at
+	// construction.
+	if *mAddr != "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		addr, err := obs.Serve(*mAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /statusz and /debug/pprof on %s\n", addr)
+	}
 
 	var set *mobiletraffic.ModelSet
 	if *modelsPath != "" {
@@ -88,7 +105,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Each generated minute is one unit on /statusz: a long generation
+	// run reports completion fraction and ETA like a campaign does.
+	progress := obs.NewProgress("sessiongen_minutes", *minutes)
+	obs.TrackProgressOf(progress)
 	for m := 0; m < *minutes; m++ {
+		progress.Start(m)
 		minuteOfDay := (*startMin + m) % (24 * 60)
 		peak := netsim.IsDaytime(minuteOfDay)
 		sessions, err := gen.Minute(*class, peak)
@@ -107,6 +129,7 @@ func main() {
 				fatal(err)
 			}
 		}
+		progress.Done(m)
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)

@@ -115,6 +115,11 @@ type Config struct {
 	// hash, so a checkpoint directory cannot be resumed under a
 	// different workload.
 	ConfigTag string
+	// StallAfter flags a running shard as stalled — a flight-recorder
+	// event plus campaign_shards_stalled_total — when its heartbeat age
+	// exceeds this threshold (shard funcs heartbeat via
+	// campaign.Heartbeat). 0 disables stall detection.
+	StallAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -226,16 +231,23 @@ func Run(ctx context.Context, cfg Config, fn ShardFunc) (*probe.Collector, *Repo
 	c := cfg.withDefaults()
 	plan := Plan(c.NumBS, c.Shards)
 	hash := c.hash()
+	// The config hash as an info gauge: /metrics alone identifies which
+	// campaign configuration a scrape belongs to.
+	obs.GaugeOf("campaign_config_info", "config_sha256", hash).Set(1)
 
 	st := &runState{
 		cfg:        c,
 		plan:       plan,
 		collectors: make([]*probe.Collector, len(plan)),
 		outcomes:   make([]ShardOutcome, len(plan)),
+		progress:   obs.NewProgress(ProgressName, len(plan)),
 	}
+	obs.TrackProgressOf(st.progress)
 	for i, sh := range plan {
 		st.outcomes[i] = ShardOutcome{Shard: sh, Status: ShardPending}
 	}
+	stopStallWatch := watchStalls(st.progress, c.StallAfter)
+	defer stopStallWatch()
 
 	if c.CheckpointDir != "" {
 		if err := os.MkdirAll(c.CheckpointDir, 0o755); err != nil {
@@ -274,7 +286,7 @@ func Run(ctx context.Context, cfg Config, fn ShardFunc) (*probe.Collector, *Repo
 			defer wg.Done()
 			for i := range tasks {
 				if ctx.Err() != nil {
-					st.finish(i, nil, ShardOutcome{Shard: plan[i], Status: ShardInterrupted, Err: ctx.Err().Error()})
+					st.finishFailed(i, ShardOutcome{Shard: plan[i], Status: ShardInterrupted, Err: ctx.Err().Error()})
 					continue
 				}
 				st.runShard(ctx, span, w, i, fn)
@@ -299,6 +311,8 @@ func Run(ctx context.Context, cfg Config, fn ShardFunc) (*probe.Collector, *Repo
 		return nil, report, err
 	}
 	if ctx.Err() != nil {
+		event(obs.EventInterrupted, -1, 0,
+			fmt.Sprintf("%d of %d shards checkpointed", report.Completed+report.Resumed, len(plan)))
 		return merged, report, fmt.Errorf("%w: %d of %d shards checkpointed", ErrInterrupted, report.Completed+report.Resumed, len(plan))
 	}
 	return merged, report, nil
@@ -313,6 +327,7 @@ type runState struct {
 	collectors []*probe.Collector
 	outcomes   []ShardOutcome
 	manifest   *Manifest
+	progress   *obs.Progress
 	retries    int
 	mu         sync.Mutex
 }
@@ -349,6 +364,9 @@ func (st *runState) resume(hash string) error {
 			Status: ShardResumed, Attempts: ms.Attempts, Checkpoint: ms.Checkpoint,
 		}
 		obs.CounterOf("campaign_shards_resumed_total").Inc()
+		event(obs.EventResume, ms.Index, ms.Attempts, ms.Checkpoint)
+		st.progress.Start(i)
+		st.progress.Done(i)
 	}
 	return nil
 }
@@ -361,24 +379,36 @@ func (st *runState) runShard(ctx context.Context, span *obs.Span, worker, i int,
 	shSpan.SetTID(1 + worker)
 	defer shSpan.End()
 	jitter := rand.New(rand.NewSource(st.cfg.Seed ^ int64(sh.Index)<<17 ^ 0x5ca1ab1e))
+	shardLabel := strconv.Itoa(sh.Index)
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		coll, err := runAttempt(ctx, st.cfg, sh, attempt, fn)
+		st.progress.Start(i)
+		event(obs.EventShardStart, sh.Index, attempt, fmt.Sprintf("[%d,%d)", sh.StartBS, sh.EndBS))
+		attemptStart := time.Now()
+		coll, err := runAttempt(ctx, st, sh, attempt, fn)
+		wall := time.Since(attemptStart).Seconds()
 		if err == nil {
+			obs.HistogramOf(ShardSecondsMetric, nil, "outcome", "ok").Observe(wall)
+			event(obs.EventShardDone, sh.Index, attempt, fmt.Sprintf("%.3fs", wall))
 			st.complete(i, attempt, coll)
 			return
 		}
+		obs.HistogramOf(ShardSecondsMetric, nil, "outcome", "err").Observe(wall)
 		lastErr = err
 		if ctx.Err() != nil {
-			st.finish(i, nil, ShardOutcome{Shard: sh, Status: ShardInterrupted, Attempts: attempt, Err: err.Error()})
+			st.finishFailed(i, ShardOutcome{Shard: sh, Status: ShardInterrupted, Attempts: attempt, Err: err.Error()})
 			return
 		}
 		if attempt > st.cfg.MaxRetries {
-			obs.CounterOf("campaign_shards_failed_total").Inc()
-			st.finish(i, nil, ShardOutcome{Shard: sh, Status: ShardFailed, Attempts: attempt, Err: lastErr.Error()})
+			obs.CounterOf("campaign_shards_failed_total",
+				"shard", shardLabel, "attempt", strconv.Itoa(attempt)).Inc()
+			event(obs.EventShardFailed, sh.Index, attempt, lastErr.Error())
+			st.finishFailed(i, ShardOutcome{Shard: sh, Status: ShardFailed, Attempts: attempt, Err: lastErr.Error()})
 			return
 		}
-		obs.CounterOf("campaign_shard_retries_total").Inc()
+		obs.CounterOf("campaign_shard_retries_total",
+			"shard", shardLabel, "attempt", strconv.Itoa(attempt)).Inc()
+		event(obs.EventShardRetry, sh.Index, attempt, lastErr.Error())
 		st.mu.Lock()
 		st.retries++
 		st.mu.Unlock()
@@ -391,23 +421,27 @@ func (st *runState) runShard(ctx context.Context, span *obs.Span, worker, i int,
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
-			st.finish(i, nil, ShardOutcome{Shard: sh, Status: ShardInterrupted, Attempts: attempt, Err: lastErr.Error()})
+			st.finishFailed(i, ShardOutcome{Shard: sh, Status: ShardInterrupted, Attempts: attempt, Err: lastErr.Error()})
 			return
 		}
 	}
 }
 
 // runAttempt executes one supervised attempt: the shard func runs in
-// its own goroutine under the per-shard timeout, panics are captured
-// as errors, and a hung attempt is abandoned when its context expires
-// (the goroutine drains into the buffered channel once it notices).
-func runAttempt(ctx context.Context, cfg Config, sh Shard, attempt int, fn ShardFunc) (*probe.Collector, error) {
+// its own goroutine under the per-shard timeout with the shard's
+// heartbeat callback on its context, panics are captured as errors,
+// and a hung attempt is abandoned when its context expires (the
+// goroutine drains into the buffered channel once it notices).
+func runAttempt(ctx context.Context, st *runState, sh Shard, attempt int, fn ShardFunc) (*probe.Collector, error) {
+	cfg := st.cfg
 	actx := ctx
 	if cfg.ShardTimeout > 0 {
 		var cancel context.CancelFunc
 		actx, cancel = context.WithTimeout(ctx, cfg.ShardTimeout)
 		defer cancel()
 	}
+	shardIdx := sh.Index
+	actx = withHeartbeat(actx, func() { st.progress.Heartbeat(shardIdx) })
 	type result struct {
 		coll *probe.Collector
 		err  error
@@ -417,6 +451,7 @@ func runAttempt(ctx context.Context, cfg Config, sh Shard, attempt int, fn Shard
 		defer func() {
 			if p := recover(); p != nil {
 				obs.CounterOf("campaign_shard_panics_total").Inc()
+				event(obs.EventShardPanic, sh.Index, attempt, fmt.Sprint(p))
 				done <- result{nil, fmt.Errorf("campaign: shard %d attempt %d panicked: %v\n%s",
 					sh.Index, attempt, p, debug.Stack())}
 			}
@@ -433,6 +468,7 @@ func runAttempt(ctx context.Context, cfg Config, sh Shard, attempt int, fn Shard
 	case <-actx.Done():
 		if errors.Is(actx.Err(), context.DeadlineExceeded) {
 			obs.CounterOf("campaign_shard_timeouts_total").Inc()
+			event(obs.EventShardTimeout, sh.Index, attempt, cfg.ShardTimeout.String())
 			return nil, fmt.Errorf("campaign: shard %d attempt %d exceeded timeout %v", sh.Index, attempt, cfg.ShardTimeout)
 		}
 		return nil, fmt.Errorf("campaign: shard %d attempt %d: %w", sh.Index, attempt, actx.Err())
@@ -454,9 +490,12 @@ func (st *runState) complete(i, attempts int, coll *probe.Collector) {
 			// this run; resume will recompute it.
 			out.Err = err.Error()
 			name = ""
+		} else {
+			event(obs.EventCheckpoint, sh.Index, attempts, name)
 		}
 	}
 	st.finish(i, coll, out)
+	st.progress.Done(i)
 	if st.manifest != nil {
 		st.mu.Lock()
 		st.manifest.Shards[i].Status = ShardDone
@@ -465,6 +504,13 @@ func (st *runState) complete(i, attempts int, coll *probe.Collector) {
 		st.manifest.WriteFile(st.cfg.CheckpointDir)
 		st.mu.Unlock()
 	}
+}
+
+// finishFailed records a failed/interrupted outcome for shard i and
+// flips its progress unit to the failed state.
+func (st *runState) finishFailed(i int, out ShardOutcome) {
+	st.finish(i, nil, out)
+	st.progress.Fail(i, string(out.Status)+": "+out.Err)
 }
 
 // finish records a terminal outcome for shard i.
@@ -526,5 +572,7 @@ func (st *runState) merge(report *Report) (*probe.Collector, error) {
 		return nil, err
 	}
 	report.Merge = mrep
+	event(obs.EventMerge, -1, 0,
+		fmt.Sprintf("%d merged, %d skipped", mrep.Merged, mrep.Skipped))
 	return dest, nil
 }

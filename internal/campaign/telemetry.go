@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"mobiletraffic/internal/obs"
+)
+
+// Run telemetry: the campaign emits a flight-recorder event at every
+// shard lifecycle edge (start/retry/timeout/panic/checkpoint/resume/
+// merge), tracks every shard through an obs.Progress state machine
+// (surfaced on /statusz with completion fraction, ETA and heartbeat
+// ages), and — when Config.StallAfter is set — flags shards whose
+// heartbeat goes quiet. Shard funcs report liveness through
+// Heartbeat(ctx), one atomic store per call, typically once per base
+// station.
+
+// ShardSecondsMetric is the histogram family recording per-attempt
+// shard wall time, labeled by outcome ("ok" or "err").
+const ShardSecondsMetric = "campaign_shard_seconds"
+
+// ProgressName is the obs.Progress tracker name of the campaign's
+// shard state machine on /statusz.
+const ProgressName = "campaign_shards"
+
+type heartbeatKey struct{}
+
+// withHeartbeat injects the shard's liveness callback into the attempt
+// context.
+func withHeartbeat(ctx context.Context, beat func()) context.Context {
+	return context.WithValue(ctx, heartbeatKey{}, beat)
+}
+
+// Heartbeat reports liveness from inside a shard func. Safe (and a
+// no-op) on contexts without a campaign attempt attached, so shared
+// collection code can call it unconditionally. Call it at a natural
+// unit of progress — once per base station is plenty.
+func Heartbeat(ctx context.Context) {
+	if beat, ok := ctx.Value(heartbeatKey{}).(func()); ok {
+		beat()
+	}
+}
+
+// event records a campaign flight-recorder event on the default
+// registry.
+func event(kind string, shard, attempt int, detail string) {
+	obs.RecordEvent(obs.Event{Kind: kind, Shard: shard, Attempt: attempt, Detail: detail})
+}
+
+// watchStalls polls the progress tracker until ctx is done, flagging
+// every running shard whose heartbeat age exceeds threshold: one
+// flight-recorder event and one campaign_shards_stalled_total
+// increment per stall episode (a shard that resumes beating and stalls
+// again is flagged again). The returned func stops the watcher.
+func watchStalls(progress *obs.Progress, threshold time.Duration) (stop func()) {
+	if progress == nil || threshold <= 0 {
+		return func() {}
+	}
+	poll := threshold / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		flagged := make(map[int]bool)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			stalled := progress.Stalled(threshold)
+			now := make(map[int]bool, len(stalled))
+			for _, sh := range stalled {
+				now[sh] = true
+				if !flagged[sh] {
+					obs.CounterOf("campaign_shards_stalled_total", "shard", strconv.Itoa(sh)).Inc()
+					event(obs.EventShardStalled, sh, 0,
+						fmt.Sprintf("heartbeat age exceeded %v", threshold))
+				}
+			}
+			flagged = now
+		}
+	}()
+	return func() { close(done); <-finished }
+}

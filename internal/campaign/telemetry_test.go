@@ -1,0 +1,270 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mobiletraffic/internal/obs"
+	"mobiletraffic/internal/probe"
+)
+
+// withTestRegistry installs a fresh obs registry for the test and
+// restores the previous default afterwards.
+func withTestRegistry(t *testing.T) *obs.Registry {
+	t.Helper()
+	old := obs.Default()
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	t.Cleanup(func() { obs.SetDefault(old) })
+	return reg
+}
+
+// eventKinds tallies the flight-recorder tail by kind.
+func eventKinds(reg *obs.Registry) map[string]int {
+	out := map[string]int{}
+	for _, ev := range reg.Events().Tail(0) {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// TestRunEmitsLifecycleEvents drives one campaign through every
+// in-process lifecycle edge — start, done, retry, panic, permanent
+// failure, merge — and checks the flight recorder, the labeled
+// failure/retry counters, the shard-seconds histogram, the config info
+// gauge and the progress tracker all saw it.
+func TestRunEmitsLifecycleEvents(t *testing.T) {
+	reg := withTestRegistry(t)
+	const numBS, shards = 9, 3
+	inner := testShardFunc(numBS)
+	fn := func(ctx context.Context, sh Shard, attempt int) (*probe.Collector, error) {
+		switch {
+		case sh.Index == 1 && attempt == 1:
+			panic("injected crash")
+		case sh.Index == 2:
+			return nil, errors.New("injected permanent failure")
+		}
+		return inner(ctx, sh, attempt)
+	}
+	_, report, err := Run(context.Background(), Config{
+		NumBS: numBS, Shards: shards, MaxRetries: 1,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 2 || report.Failed != 1 {
+		t.Fatalf("report %+v", report)
+	}
+
+	kinds := eventKinds(reg)
+	// Shard 0: 1 start. Shard 1: 2 starts (panic retry). Shard 2: 2
+	// starts (MaxRetries 1).
+	if kinds[obs.EventShardStart] != 5 {
+		t.Errorf("shard_start events = %d, want 5 (kinds %v)", kinds[obs.EventShardStart], kinds)
+	}
+	if kinds[obs.EventShardDone] != 2 {
+		t.Errorf("shard_done events = %d, want 2", kinds[obs.EventShardDone])
+	}
+	if kinds[obs.EventShardPanic] != 1 || kinds[obs.EventShardFailed] != 1 || kinds[obs.EventMerge] != 1 {
+		t.Errorf("panic/failed/merge = %d/%d/%d, want 1/1/1 (kinds %v)",
+			kinds[obs.EventShardPanic], kinds[obs.EventShardFailed], kinds[obs.EventMerge], kinds)
+	}
+	// Shard 2 retried once (attempt 1 -> 2); shard 1's panic also
+	// scheduled one retry.
+	if kinds[obs.EventShardRetry] != 2 {
+		t.Errorf("shard_retry events = %d, want 2", kinds[obs.EventShardRetry])
+	}
+
+	// Failures and retries are attributable from /metrics alone.
+	if got := reg.Counter("campaign_shards_failed_total", "shard", "2", "attempt", "2").Value(); got != 1 {
+		t.Errorf("campaign_shards_failed_total{shard=2,attempt=2} = %d, want 1", got)
+	}
+	if got := reg.Counter("campaign_shard_retries_total", "shard", "2", "attempt", "1").Value(); got != 1 {
+		t.Errorf("campaign_shard_retries_total{shard=2,attempt=1} = %d, want 1", got)
+	}
+
+	// Per-attempt wall time lands in campaign_shard_seconds by outcome:
+	// 2 ok attempts (shard 0, shard 1's retry) and 3 err attempts
+	// (shard 1's panic, shard 2's two failures).
+	ok := reg.Histogram(ShardSecondsMetric, nil, "outcome", "ok").Count()
+	errs := reg.Histogram(ShardSecondsMetric, nil, "outcome", "err").Count()
+	if ok != 2 || errs != 3 {
+		t.Errorf("shard_seconds ok/err counts = %d/%d, want 2/3", ok, errs)
+	}
+
+	// The manifest config hash is an info gauge.
+	cfg := Config{NumBS: numBS, Shards: shards, MaxRetries: 1,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond}.withDefaults()
+	if got := reg.Gauge("campaign_config_info", "config_sha256", cfg.hash()).Value(); got != 1 {
+		t.Errorf("campaign_config_info gauge = %v, want 1", got)
+	}
+
+	// The progress tracker reached a terminal snapshot.
+	var found bool
+	for _, st := range reg.ProgressStatuses() {
+		if st.Name == ProgressName {
+			found = true
+			if st.Done != 2 || st.Failed != 1 || st.Fraction != 1 {
+				t.Errorf("progress = %+v", st)
+			}
+			if st.Units[1].Attempts != 2 || st.Units[2].Attempts != 2 {
+				t.Errorf("unit attempts = %+v", st.Units)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %q tracker registered", ProgressName)
+	}
+}
+
+// TestRunEmitsTimeoutEvents pins the timeout edge separately: a hung
+// attempt produces shard_timeout, then the retry completes the shard.
+func TestRunEmitsTimeoutEvents(t *testing.T) {
+	reg := withTestRegistry(t)
+	const numBS = 4
+	inner := testShardFunc(numBS)
+	fn := func(ctx context.Context, sh Shard, attempt int) (*probe.Collector, error) {
+		if sh.Index == 0 && attempt == 1 {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return inner(ctx, sh, attempt)
+	}
+	_, report, err := Run(context.Background(), Config{
+		NumBS: numBS, Shards: 2, ShardTimeout: 20 * time.Millisecond,
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Retries != 1 {
+		t.Fatalf("report %+v", report)
+	}
+	kinds := eventKinds(reg)
+	if kinds[obs.EventShardTimeout] != 1 {
+		t.Fatalf("shard_timeout events = %d (kinds %v)", kinds[obs.EventShardTimeout], kinds)
+	}
+}
+
+// TestRunEmitsCheckpointAndResumeEvents drives a checkpoint + resume
+// cycle and checks the durable edges land in the recorder: checkpoint
+// events on the first run, resume events on the second.
+func TestRunEmitsCheckpointAndResumeEvents(t *testing.T) {
+	reg := withTestRegistry(t)
+	const numBS, shards = 8, 4
+	dir := t.TempDir()
+	cfg := Config{
+		NumBS: numBS, Shards: shards, CheckpointDir: dir, ConfigTag: "telemetry-test",
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	}
+	if _, _, err := Run(context.Background(), cfg, testShardFunc(numBS)); err != nil {
+		t.Fatal(err)
+	}
+	if kinds := eventKinds(reg); kinds[obs.EventCheckpoint] != shards {
+		t.Fatalf("checkpoint events = %d, want %d (kinds %v)", kinds[obs.EventCheckpoint], shards, kinds)
+	}
+
+	// Fresh registry for the resume run so the counts are unambiguous.
+	reg = withTestRegistry(t)
+	cfg.Resume = true
+	if _, rep, err := Run(context.Background(), cfg, testShardFunc(numBS)); err != nil || rep.Resumed != shards {
+		t.Fatalf("resume: err=%v report=%+v", err, rep)
+	}
+	kinds := eventKinds(reg)
+	if kinds[obs.EventResume] != shards {
+		t.Fatalf("resume events = %d, want %d (kinds %v)", kinds[obs.EventResume], shards, kinds)
+	}
+	if kinds[obs.EventShardStart] != 0 {
+		t.Fatalf("fully-resumed campaign started %d shards", kinds[obs.EventShardStart])
+	}
+	// Resumed units are terminal on the tracker.
+	for _, st := range reg.ProgressStatuses() {
+		if st.Name == ProgressName && (st.Done != shards || st.Fraction != 1) {
+			t.Fatalf("resumed progress = %+v", st)
+		}
+	}
+}
+
+// TestRunFlagsStalledShards pins stall detection end to end: a shard
+// that stops heartbeating past Config.StallAfter is flagged — one
+// counter increment and one shard_stalled event — while a beating
+// shard is not.
+func TestRunFlagsStalledShards(t *testing.T) {
+	reg := withTestRegistry(t)
+	const numBS = 4
+	inner := testShardFunc(numBS)
+	release := make(chan struct{})
+	fn := func(ctx context.Context, sh Shard, attempt int) (*probe.Collector, error) {
+		if sh.Index == 0 {
+			// Goes quiet: no heartbeat until released.
+			<-release
+		} else {
+			// Stays lively well past the stall threshold.
+			for i := 0; i < 20; i++ {
+				Heartbeat(ctx)
+				time.Sleep(5 * time.Millisecond)
+			}
+			close(release)
+		}
+		return inner(ctx, sh, attempt)
+	}
+	_, report, err := Run(context.Background(), Config{
+		NumBS: numBS, Shards: 2, Workers: 2, StallAfter: 25 * time.Millisecond,
+	}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 2 {
+		t.Fatalf("report %+v", report)
+	}
+	if got := reg.Counter("campaign_shards_stalled_total", "shard", "0").Value(); got == 0 {
+		t.Error("stalled shard 0 not counted")
+	}
+	if got := reg.Counter("campaign_shards_stalled_total", "shard", "1").Value(); got != 0 {
+		t.Errorf("beating shard 1 counted as stalled %d times", got)
+	}
+	var stalledShard0 bool
+	for _, ev := range reg.Events().Tail(0) {
+		if ev.Kind == obs.EventShardStalled {
+			if ev.Shard != 0 {
+				t.Errorf("stall event for shard %d", ev.Shard)
+			}
+			stalledShard0 = true
+		}
+	}
+	if !stalledShard0 {
+		t.Error("no shard_stalled event recorded")
+	}
+}
+
+// TestHeartbeatOutsideCampaign pins the no-op contract: shared
+// collection code calls Heartbeat unconditionally, so a context
+// without a campaign attempt must be safe.
+func TestHeartbeatOutsideCampaign(t *testing.T) {
+	Heartbeat(context.Background())
+	Heartbeat(withHeartbeat(context.Background(), func() {})) // and with one
+}
+
+// TestRunTelemetryDisabled pins the zero-cost default: with no obs
+// registry installed, a campaign runs to the same result with every
+// telemetry call collapsing to nil-handle no-ops.
+func TestRunTelemetryDisabled(t *testing.T) {
+	old := obs.Default()
+	obs.SetDefault(nil)
+	t.Cleanup(func() { obs.SetDefault(old) })
+	const numBS = 6
+	ref := reference(t, numBS)
+	coll, report, err := Run(context.Background(), Config{
+		NumBS: numBS, Shards: 3, StallAfter: 5 * time.Millisecond,
+	}, testShardFunc(numBS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 3 {
+		t.Fatalf("report %+v", report)
+	}
+	sameCells(t, ref, coll)
+}

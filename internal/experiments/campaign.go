@@ -30,6 +30,9 @@ type CampaignOptions struct {
 	ShardTimeout time.Duration
 	// MaxRetries is the per-shard retry budget (default 2).
 	MaxRetries int
+	// StallAfter flags a shard as stalled when its heartbeat (one per
+	// completed BS) goes quiet for this long; 0 disables.
+	StallAfter time.Duration
 	// Faults optionally injects data-plane faults into every shard's
 	// measurement stream (same semantics as the in-process collector).
 	Faults *faults.Injector
@@ -77,6 +80,9 @@ func CollectSharded(ctx context.Context, sim *netsim.Simulator, c Config, opts C
 			if err := collectBS(sim, coll, buf, opts.Faults, bs, c.Days); err != nil {
 				return nil, err
 			}
+			// One heartbeat per completed BS feeds the supervisor's
+			// stall detector and the /statusz heartbeat-age column.
+			campaign.Heartbeat(ctx)
 		}
 		return coll, nil
 	})
@@ -93,6 +99,7 @@ func CollectSharded(ctx context.Context, sim *netsim.Simulator, c Config, opts C
 		Resume:        opts.Resume,
 		ShardTimeout:  opts.ShardTimeout,
 		MaxRetries:    opts.MaxRetries,
+		StallAfter:    opts.StallAfter,
 		Seed:          c.Seed,
 		ConfigTag:     tag,
 	}, fn)

@@ -100,12 +100,17 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 //
 //	/metrics          Prometheus text format
 //	/metrics.json     JSON snapshot (metrics + spans)
+//	/statusz          live run status: progress trackers + event tail
+//	                  (HTML; ?format=json for the machine-readable view)
+//	/events           flight-recorder tail as JSON (?n= bounds it)
 //	/spans            span log as JSON
 //	/trace            Chrome trace_event export of the span log
 //	/debug/pprof/*    the standard Go profiling endpoints
 //	/debug/vars       expvar
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", r.handleStatusz)
+	mux.HandleFunc("/events", r.handleEvents)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks a fixed population of work units (the shards of a
+// campaign, the streams of a generation run) through a per-unit state
+// machine pending → running → done/failed, and derives the numbers an
+// operator actually wants from a long run: completion fraction, a
+// rate-windowed ETA, and per-unit heartbeat ages for stall detection.
+//
+// State transitions take the tracker's mutex (they are rare — a few
+// per unit); heartbeats are a single atomic store per unit so a hot
+// inner loop can beat every iteration for free. All methods are safe
+// on a nil receiver and for concurrent use.
+
+// UnitState is one work unit's position in the state machine.
+type UnitState string
+
+const (
+	UnitPending UnitState = "pending"
+	UnitRunning UnitState = "running"
+	UnitDone    UnitState = "done"
+	UnitFailed  UnitState = "failed"
+)
+
+// etaWindow is how many recent completions feed the ETA rate estimate.
+// A window — rather than the lifetime average — makes the ETA track
+// the current completion rate, so it recovers quickly after a slow
+// resume phase or a retry storm.
+const etaWindow = 16
+
+type progressUnit struct {
+	state    UnitState
+	attempts int
+	startNs  int64 // wall ns of the first Start
+	endNs    int64 // wall ns of the terminal transition
+	detail   string
+	beatNs   atomic.Int64 // wall ns of the last heartbeat
+}
+
+// Progress is the tracker. Create with NewProgress; register on a
+// registry with TrackProgress to surface it on /statusz.
+type Progress struct {
+	name  string
+	units []progressUnit
+
+	mu      sync.Mutex
+	started time.Time
+	doneLog []int64 // wall ns of recent terminal transitions (ring, etaWindow)
+}
+
+// NewProgress returns a tracker for n pending units. Returns nil when
+// n <= 0 — and, like the other obs handles, a nil tracker is inert.
+func NewProgress(name string, n int) *Progress {
+	if n <= 0 {
+		return nil
+	}
+	return &Progress{name: name, units: make([]progressUnit, n), started: time.Now()}
+}
+
+// valid reports whether unit is a live index.
+func (p *Progress) valid(unit int) bool {
+	return p != nil && unit >= 0 && unit < len(p.units)
+}
+
+// Start marks the unit running (and counts an attempt). Restarting a
+// running or failed unit counts a further attempt — the retry path.
+func (p *Progress) Start(unit int) {
+	if !p.valid(unit) {
+		return
+	}
+	now := time.Now().UnixNano()
+	p.mu.Lock()
+	u := &p.units[unit]
+	u.state = UnitRunning
+	u.attempts++
+	if u.startNs == 0 {
+		u.startNs = now
+	}
+	p.mu.Unlock()
+	u.beatNs.Store(now)
+}
+
+// Heartbeat records liveness for a running unit: one atomic store,
+// cheap enough for a per-BS (or per-minute) inner loop.
+func (p *Progress) Heartbeat(unit int) {
+	if !p.valid(unit) {
+		return
+	}
+	p.units[unit].beatNs.Store(time.Now().UnixNano())
+}
+
+// Done marks the unit completed.
+func (p *Progress) Done(unit int) { p.finish(unit, UnitDone, "") }
+
+// Fail marks the unit terminally failed with a reason.
+func (p *Progress) Fail(unit int, detail string) { p.finish(unit, UnitFailed, detail) }
+
+func (p *Progress) finish(unit int, state UnitState, detail string) {
+	if !p.valid(unit) {
+		return
+	}
+	now := time.Now().UnixNano()
+	p.mu.Lock()
+	u := &p.units[unit]
+	u.state = state
+	u.endNs = now
+	u.detail = detail
+	if len(p.doneLog) == etaWindow {
+		copy(p.doneLog, p.doneLog[1:])
+		p.doneLog = p.doneLog[:etaWindow-1]
+	}
+	p.doneLog = append(p.doneLog, now)
+	p.mu.Unlock()
+	u.beatNs.Store(now)
+}
+
+// UnitStatus is one unit's row in a snapshot.
+type UnitStatus struct {
+	Unit     int       `json:"unit"`
+	State    UnitState `json:"state"`
+	Attempts int       `json:"attempts,omitempty"`
+	// HeartbeatAgeS is seconds since the unit's last heartbeat;
+	// negative when the unit never started.
+	HeartbeatAgeS float64 `json:"heartbeat_age_s"`
+	// RunS is the unit's wall time: start → terminal transition, or
+	// start → now while running.
+	RunS   float64 `json:"run_s,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// ProgressStatus is a consistent point-in-time view of the tracker.
+type ProgressStatus struct {
+	Name     string  `json:"name"`
+	Total    int     `json:"total"`
+	Pending  int     `json:"pending"`
+	Running  int     `json:"running"`
+	Done     int     `json:"done"`
+	Failed   int     `json:"failed"`
+	Fraction float64 `json:"fraction"` // terminal units / total
+	// RateHz is the rate-windowed completion rate (terminal
+	// transitions per second over the last etaWindow completions);
+	// 0 until two units finish.
+	RateHz float64 `json:"rate_hz"`
+	// ETAS is the estimated seconds until the remaining units finish
+	// at RateHz; negative when no estimate is available yet.
+	ETAS     float64      `json:"eta_s"`
+	ElapsedS float64      `json:"elapsed_s"`
+	Units    []UnitStatus `json:"units"`
+}
+
+// Status snapshots the tracker. Units are reported in index order.
+func (p *Progress) Status() ProgressStatus {
+	if p == nil {
+		return ProgressStatus{ETAS: -1}
+	}
+	now := time.Now()
+	nowNs := now.UnixNano()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ProgressStatus{
+		Name:     p.name,
+		Total:    len(p.units),
+		ETAS:     -1,
+		ElapsedS: now.Sub(p.started).Seconds(),
+		Units:    make([]UnitStatus, len(p.units)),
+	}
+	for i := range p.units {
+		u := &p.units[i]
+		us := UnitStatus{Unit: i, Attempts: u.attempts, Detail: u.detail, HeartbeatAgeS: -1}
+		switch u.state {
+		case UnitRunning:
+			st.Running++
+			us.State = UnitRunning
+			us.RunS = float64(nowNs-u.startNs) / 1e9
+		case UnitDone:
+			st.Done++
+			us.State = UnitDone
+			us.RunS = float64(u.endNs-u.startNs) / 1e9
+		case UnitFailed:
+			st.Failed++
+			us.State = UnitFailed
+			us.RunS = float64(u.endNs-u.startNs) / 1e9
+		default:
+			st.Pending++
+			us.State = UnitPending
+		}
+		if beat := u.beatNs.Load(); beat > 0 {
+			us.HeartbeatAgeS = float64(nowNs-beat) / 1e9
+		}
+		st.Units[i] = us
+	}
+	st.Fraction = float64(st.Done+st.Failed) / float64(st.Total)
+	if n := len(p.doneLog); n >= 2 {
+		span := float64(p.doneLog[n-1]-p.doneLog[0]) / 1e9
+		if span > 0 {
+			st.RateHz = float64(n-1) / span
+			remaining := st.Pending + st.Running
+			st.ETAS = float64(remaining) / st.RateHz
+		}
+	}
+	return st
+}
+
+// Stalled returns the indices of running units whose heartbeat age
+// exceeds threshold, in index order.
+func (p *Progress) Stalled(threshold time.Duration) []int {
+	if p == nil || threshold <= 0 {
+		return nil
+	}
+	cutoff := time.Now().Add(-threshold).UnixNano()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for i := range p.units {
+		u := &p.units[i]
+		if u.state == UnitRunning && u.beatNs.Load() < cutoff {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// --- registry attachment ---------------------------------------------
+
+// TrackProgress registers the tracker on the registry under its name
+// so /statusz can render it; a later tracker with the same name
+// replaces the earlier one (a resumed campaign restarts its tracker).
+// No-op on a nil registry or tracker.
+func (r *Registry) TrackProgress(p *Progress) {
+	if r == nil || p == nil {
+		return
+	}
+	r.progressMu.Lock()
+	if r.progress == nil {
+		r.progress = make(map[string]*Progress)
+	}
+	r.progress[p.name] = p
+	r.progressMu.Unlock()
+}
+
+// ProgressStatuses snapshots every registered tracker, sorted by name.
+func (r *Registry) ProgressStatuses() []ProgressStatus {
+	if r == nil {
+		return nil
+	}
+	r.progressMu.Lock()
+	trackers := make([]*Progress, 0, len(r.progress))
+	for _, p := range r.progress {
+		trackers = append(trackers, p)
+	}
+	r.progressMu.Unlock()
+	out := make([]ProgressStatus, len(trackers))
+	for i, p := range trackers {
+		out[i] = p.Status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TrackProgressOf registers the tracker on the default registry.
+func TrackProgressOf(p *Progress) { Default().TrackProgress(p) }

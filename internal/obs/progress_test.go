@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProgressStateMachine(t *testing.T) {
+	p := NewProgress("campaign_shards", 4)
+	st := p.Status()
+	if st.Total != 4 || st.Pending != 4 || st.Fraction != 0 {
+		t.Fatalf("fresh status = %+v", st)
+	}
+	if st.ETAS >= 0 {
+		t.Fatalf("fresh ETA = %v, want unavailable", st.ETAS)
+	}
+
+	p.Start(0)
+	p.Start(1)
+	p.Done(0)
+	p.Fail(1, "retries exhausted")
+	p.Start(2)
+
+	st = p.Status()
+	if st.Pending != 1 || st.Running != 1 || st.Done != 1 || st.Failed != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Fraction != 0.5 {
+		t.Fatalf("fraction = %v, want 0.5", st.Fraction)
+	}
+	if st.Units[0].State != UnitDone || st.Units[1].State != UnitFailed ||
+		st.Units[2].State != UnitRunning || st.Units[3].State != UnitPending {
+		t.Fatalf("unit states = %+v", st.Units)
+	}
+	if st.Units[1].Detail != "retries exhausted" {
+		t.Fatalf("failed detail = %q", st.Units[1].Detail)
+	}
+	if st.Units[3].HeartbeatAgeS >= 0 {
+		t.Fatalf("pending unit has a heartbeat age: %+v", st.Units[3])
+	}
+	if st.Units[2].HeartbeatAgeS < 0 {
+		t.Fatalf("running unit missing heartbeat age: %+v", st.Units[2])
+	}
+}
+
+func TestProgressRetriesCountAttempts(t *testing.T) {
+	p := NewProgress("x", 1)
+	p.Start(0)
+	p.Start(0) // retry
+	p.Start(0) // retry
+	p.Done(0)
+	st := p.Status()
+	if st.Units[0].Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", st.Units[0].Attempts)
+	}
+	if st.Done != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	p := NewProgress("x", 4)
+	for i := 0; i < 2; i++ {
+		p.Start(i)
+		p.Done(i)
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := p.Status()
+	if st.RateHz <= 0 {
+		t.Fatalf("rate = %v after 2 completions", st.RateHz)
+	}
+	if st.ETAS < 0 {
+		t.Fatalf("ETA = %v, want an estimate", st.ETAS)
+	}
+	// 2 units remain at RateHz; the estimate must be remaining/rate.
+	want := 2 / st.RateHz
+	if diff := st.ETAS - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("ETA = %v, want %v", st.ETAS, want)
+	}
+}
+
+func TestProgressStalled(t *testing.T) {
+	p := NewProgress("x", 3)
+	p.Start(0)
+	p.Start(1)
+	p.Done(1) // terminal units never stall
+	time.Sleep(30 * time.Millisecond)
+	p.Start(2)
+	p.Heartbeat(2) // fresh heartbeat
+
+	stalled := p.Stalled(15 * time.Millisecond)
+	if len(stalled) != 1 || stalled[0] != 0 {
+		t.Fatalf("stalled = %v, want [0]", stalled)
+	}
+	// A heartbeat clears the stall.
+	p.Heartbeat(0)
+	if stalled := p.Stalled(15 * time.Millisecond); len(stalled) != 0 {
+		t.Fatalf("stalled after heartbeat = %v", stalled)
+	}
+	if p.Stalled(0) != nil {
+		t.Fatal("threshold 0 must disable stall detection")
+	}
+}
+
+func TestProgressNilAndBoundsSafe(t *testing.T) {
+	var p *Progress
+	p.Start(0)
+	p.Heartbeat(0)
+	p.Done(0)
+	p.Fail(0, "x")
+	if st := p.Status(); st.Total != 0 || st.ETAS >= 0 {
+		t.Fatalf("nil status = %+v", st)
+	}
+	if p.Stalled(time.Second) != nil {
+		t.Fatal("nil tracker reports stalls")
+	}
+	if NewProgress("x", 0) != nil {
+		t.Fatal("zero-unit tracker must be nil")
+	}
+	q := NewProgress("x", 2)
+	q.Start(-1)
+	q.Start(2)
+	q.Done(99)
+	if st := q.Status(); st.Pending != 2 {
+		t.Fatalf("out-of-range transitions mutated the tracker: %+v", st)
+	}
+}
+
+func TestRegistryTrackProgress(t *testing.T) {
+	r := NewRegistry()
+	if got := r.ProgressStatuses(); len(got) != 0 {
+		t.Fatalf("fresh registry trackers = %+v", got)
+	}
+	b := NewProgress("b_tracker", 2)
+	a := NewProgress("a_tracker", 3)
+	r.TrackProgress(b)
+	r.TrackProgress(a)
+	got := r.ProgressStatuses()
+	if len(got) != 2 || got[0].Name != "a_tracker" || got[1].Name != "b_tracker" {
+		t.Fatalf("trackers = %+v", got)
+	}
+	// Same name replaces: a resumed campaign restarts its tracker.
+	a2 := NewProgress("a_tracker", 7)
+	r.TrackProgress(a2)
+	got = r.ProgressStatuses()
+	if len(got) != 2 || got[0].Total != 7 {
+		t.Fatalf("replacement failed: %+v", got)
+	}
+	// Nil-safety of the package-level helpers with no default registry.
+	var nilReg *Registry
+	nilReg.TrackProgress(a)
+	if nilReg.ProgressStatuses() != nil {
+		t.Fatal("nil registry reports trackers")
+	}
+}
+
+// TestProgressConcurrentWriters is the dedicated race stress for the
+// progress tracker: concurrent state transitions, heartbeats and
+// status reads. Run under -race in CI.
+func TestProgressConcurrentWriters(t *testing.T) {
+	const units = 64
+	p := NewProgress("stress", units)
+	var wg sync.WaitGroup
+	for u := 0; u < units; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			p.Start(u)
+			for i := 0; i < 100; i++ {
+				p.Heartbeat(u)
+			}
+			if u%7 == 0 {
+				p.Start(u) // retry
+			}
+			if u%5 == 0 {
+				p.Fail(u, "injected")
+			} else {
+				p.Done(u)
+			}
+		}(u)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Status()
+			if st.Pending+st.Running+st.Done+st.Failed != units {
+				t.Errorf("state counts do not partition: %+v", st)
+				return
+			}
+			p.Stalled(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := p.Status()
+	if st.Fraction != 1 {
+		t.Fatalf("fraction = %v after all units finished", st.Fraction)
+	}
+	wantFailed := 0
+	for u := 0; u < units; u++ {
+		if u%5 == 0 {
+			wantFailed++
+		}
+	}
+	if st.Failed != wantFailed || st.Done != units-wantFailed {
+		t.Fatalf("done/failed = %d/%d, want %d/%d", st.Done, st.Failed, units-wantFailed, wantFailed)
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a fixed-capacity, lock-sharded ring of structured
+// run events. Where metrics answer "how much" and spans answer "how
+// long", the recorder answers "what happened, in what order" — the
+// record an operator reads after a crash, a stall or a kill/resume
+// cycle instead of grepping logs. Writers append to one of several
+// independently-locked ring shards (picked by the same per-P stripe
+// hint as the counters, so concurrent shard workers rarely contend);
+// readers merge the shards back into global order by sequence number.
+// The ring overwrites its oldest entries once full: a flight recorder
+// keeps the recent past, it is not an audit log.
+
+// Event kinds emitted by the campaign runner. Kind is an open string
+// set — other subsystems may record their own kinds — but the campaign
+// lifecycle uses these.
+const (
+	EventShardStart   = "shard_start"   // attempt began
+	EventShardDone    = "shard_done"    // attempt succeeded
+	EventShardRetry   = "shard_retry"   // attempt failed, retry scheduled
+	EventShardTimeout = "shard_timeout" // attempt exceeded its deadline
+	EventShardPanic   = "shard_panic"   // attempt panicked (captured)
+	EventShardFailed  = "shard_failed"  // retry budget exhausted
+	EventShardStalled = "shard_stalled" // heartbeat age exceeded threshold
+	EventCheckpoint   = "checkpoint"    // shard checkpoint durably written
+	EventResume       = "resume"        // shard loaded from a checkpoint
+	EventMerge        = "merge"         // final fold ran
+	EventInterrupted  = "interrupted"   // campaign canceled mid-flight
+)
+
+// Event is one entry in the flight recorder. Seq is a process-global
+// strictly increasing sequence number (assigned by Record); WallNs is
+// the wall-clock timestamp in Unix nanoseconds. Shard and Attempt are
+// -1/0 when the event is not tied to a shard attempt.
+type Event struct {
+	Seq     int64  `json:"seq"`
+	WallNs  int64  `json:"wall_ns"`
+	Kind    string `json:"kind"`
+	Shard   int    `json:"shard"`
+	Attempt int    `json:"attempt,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// recorderShard is one independently-locked ring segment.
+type recorderShard struct {
+	mu   sync.Mutex
+	ring []Event
+	next int // ring[next] is the slot the next write takes
+	full bool
+	_    [24]byte // keep neighbouring shards off one cache line
+}
+
+// Recorder is the fixed-capacity lock-sharded event ring. All methods
+// are safe on a nil receiver (the disabled state) and for concurrent
+// use.
+type Recorder struct {
+	shards []recorderShard
+	seq    atomic.Int64
+}
+
+// DefaultRecorderCapacity is the event capacity NewRegistry gives its
+// recorder: enough for every lifecycle edge of a few thousand shard
+// attempts while bounding memory to a few hundred KB.
+const DefaultRecorderCapacity = 8192
+
+// NewRecorder returns a recorder holding at least capacity events
+// (rounded up so every lock shard gets an equal ring). capacity <= 0
+// takes DefaultRecorderCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	n := stripeCount
+	if n > capacity {
+		n = 1
+	}
+	per := (capacity + n - 1) / n
+	r := &Recorder{shards: make([]recorderShard, n)}
+	for i := range r.shards {
+		r.shards[i].ring = make([]Event, per)
+	}
+	return r
+}
+
+// Capacity returns the total number of events the ring retains.
+func (r *Recorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards) * len(r.shards[0].ring)
+}
+
+// Record stamps ev with the next sequence number and the current wall
+// clock (unless the caller pre-filled WallNs) and appends it, evicting
+// the shard's oldest event once the ring is full.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	ev.Seq = r.seq.Add(1)
+	if ev.WallNs == 0 {
+		ev.WallNs = time.Now().UnixNano()
+	}
+	sh := &r.shards[stripeHint()%len(r.shards)]
+	sh.mu.Lock()
+	sh.ring[sh.next] = ev
+	sh.next++
+	if sh.next == len(sh.ring) {
+		sh.next = 0
+		sh.full = true
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns how many events the ring currently retains.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if sh.full {
+			n += len(sh.ring)
+		} else {
+			n += sh.next
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Tail returns the most recent n retained events in ascending Seq
+// order (all of them when n <= 0 or n exceeds the retained count).
+func (r *Recorder) Tail(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if sh.full {
+			out = append(out, sh.ring[sh.next:]...)
+		}
+		out = append(out, sh.ring[:sh.next]...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// WriteJSON writes the most recent n retained events (all when n <= 0)
+// as a JSON array in ascending Seq order.
+func (r *Recorder) WriteJSON(w io.Writer, n int) error {
+	events := r.Tail(n)
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}
+
+// Events returns the registry's flight recorder (nil when disabled).
+func (r *Registry) Events() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.recorder
+}
+
+// RecordEvent appends an event to the default registry's flight
+// recorder; a no-op while instrumentation is disabled.
+func RecordEvent(ev Event) { Default().Events().Record(ev) }

@@ -39,6 +39,10 @@ type Registry struct {
 	spanMu   sync.Mutex
 	spans    []SpanRecord
 	nextSpan atomic.Int64
+
+	recorder   *Recorder
+	progressMu sync.Mutex
+	progress   map[string]*Progress
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -48,6 +52,7 @@ func NewRegistry() *Registry {
 		counters: make(map[metricKey]*Counter),
 		gauges:   make(map[metricKey]*Gauge),
 		hists:    make(map[metricKey]*Histogram),
+		recorder: NewRecorder(DefaultRecorderCapacity),
 	}
 }
 

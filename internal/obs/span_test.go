@@ -73,6 +73,66 @@ func TestWriteTraceEvents(t *testing.T) {
 	}
 }
 
+// TestWriteTraceEventsNestingAndOrder pins the Chrome export contract
+// for nested spans: children keep their parent's track so the viewer
+// nests them by time containment, events come out ordered by start
+// time regardless of End order, and a repeated export is
+// byte-identical (the span log is immutable once written).
+func TestWriteTraceEventsNestingAndOrder(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("campaign")
+	worker := root.Child("campaign/shard", "shard", "0")
+	worker.SetTID(3)
+	grand := worker.Child("campaign/shard/fit")
+	time.Sleep(time.Millisecond)
+	// End out of start order: root first, then the leaf, then the middle.
+	root.End()
+	grand.End()
+	worker.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d", len(doc.TraceEvents))
+	}
+	// Deterministic ordering: ascending start time, not End order.
+	wantNames := []string{"campaign", "campaign/shard", "campaign/shard/fit"}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name != wantNames[i] {
+			t.Fatalf("event %d = %q, want %q (ordered by start)", i, ev.Name, wantNames[i])
+		}
+		if i > 0 && ev.TS < doc.TraceEvents[i-1].TS {
+			t.Fatalf("timestamps not ascending: %v then %v", doc.TraceEvents[i-1].TS, ev.TS)
+		}
+	}
+	// The grandchild inherits the worker's reassigned track.
+	if doc.TraceEvents[2].TID != 3 {
+		t.Fatalf("grandchild tid = %d, want inherited 3", doc.TraceEvents[2].TID)
+	}
+
+	// Re-export: byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteTraceEvents(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("repeated Chrome export diverged")
+	}
+}
+
 func TestWriteSpanJSON(t *testing.T) {
 	r := NewRegistry()
 	r.StartSpan("validate").End()

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// /statusz and /events: the live run-telemetry endpoints. /metrics is
+// what a scraper ingests; /statusz is what a human (or the CI
+// invariant check) reads during a long campaign — per-unit shard
+// states, completion fraction, rate-windowed ETA, heartbeat ages, and
+// the tail of the flight recorder, as HTML by default and as one JSON
+// document with ?format=json.
+
+// Status is the /statusz?format=json document.
+type Status struct {
+	UptimeS  float64          `json:"uptime_s"`
+	Progress []ProgressStatus `json:"progress"`
+	// Events is the flight-recorder tail (most recent last). EventsRetained
+	// and EventsCapacity describe the ring itself.
+	Events         []Event `json:"events"`
+	EventsRetained int     `json:"events_retained"`
+	EventsCapacity int     `json:"events_capacity"`
+}
+
+// statusEventsTail bounds the flight-recorder tail embedded in a
+// /statusz document; /events serves the full ring.
+const statusEventsTail = 64
+
+// Status assembles the live status document.
+func (r *Registry) Status() Status {
+	st := Status{Progress: []ProgressStatus{}, Events: []Event{}}
+	if r == nil {
+		return st
+	}
+	st.UptimeS = time.Since(r.start).Seconds()
+	if p := r.ProgressStatuses(); p != nil {
+		st.Progress = p
+	}
+	if ev := r.Events().Tail(statusEventsTail); ev != nil {
+		st.Events = ev
+	}
+	st.EventsRetained = r.Events().Len()
+	st.EventsCapacity = r.Events().Capacity()
+	return st
+}
+
+// WriteStatusJSON writes the /statusz JSON document.
+func (r *Registry) WriteStatusJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Status())
+}
+
+// WriteStatusHTML renders the status document as a self-contained
+// HTML page.
+func (r *Registry) WriteStatusHTML(w io.Writer) error {
+	st := r.Status()
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p(`<!DOCTYPE html><html><head><title>statusz</title><style>
+body{font-family:monospace;margin:1.5em}
+table{border-collapse:collapse;margin:0.5em 0}
+td,th{border:1px solid #999;padding:2px 8px;text-align:left}
+.done{color:#060}.failed{color:#a00}.running{color:#06c}.pending{color:#888}
+.bar{display:inline-block;height:0.8em;background:#06c}
+</style></head><body>`)
+	p("<h1>statusz</h1><p>uptime %.1fs &middot; <a href=\"?format=json\">json</a> &middot; <a href=\"/events\">events</a> &middot; <a href=\"/metrics\">metrics</a></p>\n", st.UptimeS)
+	for _, pr := range st.Progress {
+		p("<h2>%s</h2>", html.EscapeString(pr.Name))
+		p(`<p><span class="bar" style="width:%.0fpx"></span> %.1f%% (%d/%d done`,
+			200*pr.Fraction, 100*pr.Fraction, pr.Done, pr.Total)
+		if pr.Failed > 0 {
+			p(`, <span class="failed">%d failed</span>`, pr.Failed)
+		}
+		p(", %d running, %d pending)", pr.Running, pr.Pending)
+		if pr.RateHz > 0 {
+			p(" &middot; %.2f/s", pr.RateHz)
+		}
+		if pr.ETAS >= 0 {
+			p(" &middot; ETA %s", (time.Duration(pr.ETAS * float64(time.Second))).Round(time.Second))
+		}
+		p("</p>\n<table><tr><th>unit</th><th>state</th><th>attempts</th><th>heartbeat age</th><th>run</th><th>detail</th></tr>\n")
+		for _, u := range pr.Units {
+			beat := "&mdash;"
+			if u.HeartbeatAgeS >= 0 {
+				beat = fmt.Sprintf("%.1fs", u.HeartbeatAgeS)
+			}
+			p(`<tr><td>%d</td><td class="%s">%s</td><td>%d</td><td>%s</td><td>%.1fs</td><td>%s</td></tr>`+"\n",
+				u.Unit, u.State, u.State, u.Attempts, beat, u.RunS, html.EscapeString(u.Detail))
+		}
+		p("</table>\n")
+	}
+	if len(st.Progress) == 0 {
+		p("<p>no progress trackers registered</p>\n")
+	}
+	p("<h2>recent events</h2><p>%d retained of %d capacity</p>\n", st.EventsRetained, st.EventsCapacity)
+	p("<table><tr><th>seq</th><th>time</th><th>kind</th><th>shard</th><th>attempt</th><th>detail</th></tr>\n")
+	for i := len(st.Events) - 1; i >= 0; i-- {
+		ev := st.Events[i]
+		p("<tr><td>%d</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%s</td></tr>\n",
+			ev.Seq, time.Unix(0, ev.WallNs).Format("15:04:05.000"),
+			html.EscapeString(ev.Kind), ev.Shard, ev.Attempt, html.EscapeString(ev.Detail))
+	}
+	p("</table></body></html>\n")
+	return err
+}
+
+// handleStatusz serves /statusz (HTML, or JSON with ?format=json).
+func (r *Registry) handleStatusz(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteStatusJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = r.WriteStatusHTML(w)
+}
+
+// handleEvents serves /events: the flight-recorder tail as a JSON
+// array, most recent last. ?n= bounds the tail (default: everything
+// retained).
+func (r *Registry) handleEvents(w http.ResponseWriter, req *http.Request) {
+	n := 0
+	if s := req.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "events: bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = r.Events().WriteJSON(w, n)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// statusRegistry builds a registry with one mid-flight tracker and a
+// few flight-recorder events.
+func statusRegistry() *Registry {
+	r := NewRegistry()
+	p := NewProgress("campaign_shards", 3)
+	p.Start(0)
+	p.Done(0)
+	p.Start(1)
+	r.TrackProgress(p)
+	r.Events().Record(Event{Kind: EventShardStart, Shard: 0, Attempt: 1})
+	r.Events().Record(Event{Kind: EventCheckpoint, Shard: 0, Attempt: 1, Detail: "shard-0000.ckpt"})
+	r.Events().Record(Event{Kind: EventShardStart, Shard: 1, Attempt: 1, Detail: "<detail&>"})
+	return r
+}
+
+func TestStatusDocument(t *testing.T) {
+	st := statusRegistry().Status()
+	if len(st.Progress) != 1 {
+		t.Fatalf("progress = %+v", st.Progress)
+	}
+	pr := st.Progress[0]
+	if pr.Name != "campaign_shards" || pr.Done != 1 || pr.Running != 1 || pr.Pending != 1 {
+		t.Fatalf("tracker = %+v", pr)
+	}
+	if len(st.Events) != 3 || st.EventsRetained != 3 {
+		t.Fatalf("events = %d retained = %d", len(st.Events), st.EventsRetained)
+	}
+	if st.EventsCapacity != DefaultRecorderCapacity {
+		t.Fatalf("capacity = %d", st.EventsCapacity)
+	}
+
+	// A nil registry yields an empty document, not nils.
+	var nilReg *Registry
+	empty := nilReg.Status()
+	if empty.Progress == nil || empty.Events == nil {
+		t.Fatalf("nil registry status = %+v", empty)
+	}
+}
+
+func TestStatuszEndpoints(t *testing.T) {
+	srv := httptest.NewServer(statusRegistry().Handler())
+	defer srv.Close()
+
+	fetch := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+
+	// HTML view: progress table, event tail, escaped details.
+	resp, body := fetch("/statusz")
+	if resp.StatusCode != 200 || !strings.Contains(resp.Header.Get("Content-Type"), "text/html") {
+		t.Fatalf("/statusz: code=%d type=%q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	for _, want := range []string{"campaign_shards", "33.3%", "shard-0000.ckpt", "&lt;detail&amp;&gt;"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/statusz HTML missing %q", want)
+		}
+	}
+	if strings.Contains(body, "<detail&>") {
+		t.Error("/statusz HTML does not escape event details")
+	}
+
+	// JSON view: the machine-readable document CI scrapes.
+	resp, body = fetch("/statusz?format=json")
+	if resp.StatusCode != 200 || !strings.Contains(resp.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("/statusz?format=json: code=%d type=%q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var doc Status
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("statusz JSON: %v", err)
+	}
+	if len(doc.Progress) != 1 || doc.Progress[0].Done != 1 {
+		t.Fatalf("statusz JSON progress = %+v", doc.Progress)
+	}
+	if len(doc.Events) != 3 {
+		t.Fatalf("statusz JSON events = %d", len(doc.Events))
+	}
+
+	// /events: full tail, then bounded.
+	_, body = fetch("/events")
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("events JSON: %v", err)
+	}
+	if len(events) != 3 || events[0].Kind != EventShardStart || events[1].Kind != EventCheckpoint {
+		t.Fatalf("events = %+v", events)
+	}
+	_, body = fetch("/events?n=1")
+	events = nil
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Shard != 1 {
+		t.Fatalf("bounded events = %+v", events)
+	}
+	if resp, _ := fetch("/events?n=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n: code=%d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,847 @@
+package trace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+// MTTR: the columnar binary trace format. CSV and JSON lines carry a
+// nationwide session stream at ~40-80 bytes per record, all of it
+// re-parsed float formatting; MTTR stores the same records
+// column-contiguous with per-column encodings picked at write time, a
+// string table for the service names and a footer that makes the file
+// self-describing. The layout, all little-endian:
+//
+//	magic "MTTR" | version u16
+//	sections, each introduced by a one-byte tag:
+//	  0x01 dict   svcIndex u32 | nameLen u16 | name bytes
+//	              (emitted before the first block referencing the service;
+//	               indices are dense and strictly sequential)
+//	  0x02 block  n u32 | five columns in order:
+//	              TimeS, Service, Bytes, DurationS, Throughput
+//	              column: enc u8 | payloadLen u32 | payload
+//	  0x03 footer sumLen u32 | Summary JSON
+//	trailer: footerOffset u64 | crc32c u32
+//	         (Castagnoli, over every preceding byte including the offset)
+//
+// Column encodings. The writer picks, per column per block, the
+// cheapest form that reproduces every value bit-exactly — equality is
+// always checked on the raw IEEE-754 bit pattern, so NaNs, negative
+// zero and full-precision doubles all take the raw fallback and
+// round-trip unchanged:
+//
+//	0x00 raw      n x f64 bits (service column: n x u32)
+//	0x01 varint   service column: n x uvarint index
+//	0x02 decimal  n x uvarint(m<<2|k): v = m/10^k, k in 0..3.
+//	              Measurement exports are decimal-quantized (the CSV
+//	              surface prints %.3f/%.0f), so m is small.
+//	0x03 delta    k u8 | uvarint(m0) | (n-1) x zigzag uvarint(m_i-m_{i-1})
+//	              (common scale; session establishment times are nearly
+//	               sorted, so deltas are tiny)
+//	0x04 derived  empty: Throughput_i = Bytes_i / DurationS_i.
+//	              The generator computes mean throughput exactly this
+//	              way, so the whole column costs zero bytes.
+//	0x05 predict  k u8 | n x zigzag uvarint(m_i - pred_i) with
+//	              pred_i = round(Bytes_i/DurationS_i * 10^k); the
+//	              residual of a quantized throughput against the
+//	              quantized volume/duration is a handful of units
+//
+// The footer carries trace.Summary — session count, total volume,
+// per-service counts, time span, volume quantiles — so a consumer can
+// answer "what is in this file" by seeking to the trailer
+// (ReadSummary) without scanning a single block. The CRC trailer
+// follows the MTCP checkpoint codec: a truncated, bit-flipped or torn
+// file is an error, never a silently short trace.
+const (
+	binMagic   = "MTTR"
+	BinVersion = 1
+
+	tagDict   = 0x01
+	tagBlock  = 0x02
+	tagFooter = 0x03
+
+	encRaw     = 0x00
+	encVarint  = 0x01
+	encDecimal = 0x02
+	encDelta   = 0x03
+	encDerived = 0x04
+	encPredict = 0x05
+
+	// binBlockRecords is the writer's records-per-block batch size:
+	// large enough that column contiguity pays, small enough that a
+	// streaming consumer sees output early.
+	binBlockRecords = 4096
+)
+
+// MaxBinBlockRecords caps the per-block record count a reader will
+// allocate, guarding against corrupt or hostile headers.
+var MaxBinBlockRecords = uint32(1) << 20
+
+// MaxBinDictEntries caps the service string table a reader will hold.
+var MaxBinDictEntries = uint32(1) << 16
+
+var binCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// binPow10 holds the decimal scales of the decimal/delta/predict
+// encodings; all four are exactly representable, and float64 division
+// by them is correctly rounded, so writer and reader reconstruct the
+// same bit pattern.
+var binPow10 = [4]float64{1, 10, 100, 1000}
+
+// decimalParts finds the smallest scale k such that v is exactly m/10^k
+// for a non-negative integer m below 2^53 — "exactly" meaning the
+// division reproduces v's bit pattern, which rules out NaN, negatives
+// (including -0) and full-precision mantissas.
+func decimalParts(v float64) (m int64, k int, ok bool) {
+	if !(v >= 0) {
+		return 0, 0, false
+	}
+	bits := math.Float64bits(v)
+	for k = 0; k < len(binPow10); k++ {
+		scaled := v * binPow10[k]
+		if scaled >= 1<<53 {
+			return 0, 0, false
+		}
+		m = int64(math.Round(scaled))
+		if math.Float64bits(float64(m)/binPow10[k]) == bits {
+			return m, k, true
+		}
+	}
+	return 0, 0, false
+}
+
+// scaledInt is decimalParts at a fixed scale.
+func scaledInt(v float64, k int) (int64, bool) {
+	if !(v >= 0) {
+		return 0, false
+	}
+	scaled := v * binPow10[k]
+	if scaled >= 1<<53 {
+		return 0, false
+	}
+	m := int64(math.Round(scaled))
+	if math.Float64bits(float64(m)/binPow10[k]) != math.Float64bits(v) {
+		return 0, false
+	}
+	return m, true
+}
+
+// predDecimal is the shared writer/reader predictor of the throughput
+// column: the decimal-scaled throughput implied by the volume and
+// duration columns. Both sides compute it from bit-identical decoded
+// inputs, so the residuals cancel exactly; out-of-range predictions
+// (division by a denormal, absurd volumes) deterministically collapse
+// to zero on both sides rather than overflowing int64.
+func predDecimal(vol, dur float64, k int) int64 {
+	p := vol / dur * binPow10[k]
+	if !(math.Abs(p) < 1<<52) {
+		return 0
+	}
+	return int64(math.Round(p))
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// binCountingWriter accumulates a CRC-32C and a byte offset over
+// everything written through it.
+type binCountingWriter struct {
+	w   io.Writer
+	crc uint32
+	off uint64
+}
+
+func (cw *binCountingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, binCRCTable, p[:n])
+	cw.off += uint64(n)
+	return n, err
+}
+
+// binWriter is the streaming MTTR block writer behind Writer.
+type binWriter struct {
+	cw      *binCountingWriter
+	scratch []byte
+	colbuf  []byte
+	dict    map[string]uint32
+
+	// Pending block columns.
+	times, volumes, durs, thrs []float64
+	svcs                       []uint32
+
+	// Footer accumulators.
+	sum        Summary
+	allVolumes []float64
+
+	finished bool
+}
+
+func newBinWriter(w io.Writer) (*binWriter, error) {
+	bw := &binWriter{
+		cw:      &binCountingWriter{w: w},
+		scratch: make([]byte, 16),
+		dict:    make(map[string]uint32),
+	}
+	bw.sum.Services = map[string]int{}
+	if _, err := bw.cw.Write([]byte(binMagic)); err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint16(bw.scratch[:2], BinVersion)
+	if _, err := bw.cw.Write(bw.scratch[:2]); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// svcIndex interns the service name, emitting a dict section on first
+// sight.
+func (bw *binWriter) svcIndex(name string) (uint32, error) {
+	if idx, ok := bw.dict[name]; ok {
+		return idx, nil
+	}
+	if uint32(len(bw.dict)) >= MaxBinDictEntries {
+		return 0, fmt.Errorf("trace: bin: more than %d distinct services", MaxBinDictEntries)
+	}
+	if len(name) > math.MaxUint16 {
+		return 0, fmt.Errorf("trace: bin: service name %d bytes long", len(name))
+	}
+	idx := uint32(len(bw.dict))
+	b := bw.scratch[:7]
+	b[0] = tagDict
+	binary.LittleEndian.PutUint32(b[1:5], idx)
+	binary.LittleEndian.PutUint16(b[5:7], uint16(len(name)))
+	if _, err := bw.cw.Write(b); err != nil {
+		return 0, err
+	}
+	if _, err := io.WriteString(bw.cw, name); err != nil {
+		return 0, err
+	}
+	bw.dict[name] = idx
+	return idx, nil
+}
+
+// add queues one (already validated) record, flushing a full block.
+func (bw *binWriter) add(r Record) error {
+	if bw.finished {
+		return fmt.Errorf("trace: bin: write after Flush finalized the trace")
+	}
+	idx, err := bw.svcIndex(r.Service)
+	if err != nil {
+		return err
+	}
+	bw.times = append(bw.times, r.TimeS)
+	bw.svcs = append(bw.svcs, idx)
+	bw.volumes = append(bw.volumes, r.Bytes)
+	bw.durs = append(bw.durs, r.DurationS)
+	bw.thrs = append(bw.thrs, r.Throughput)
+
+	bw.sum.Sessions++
+	bw.sum.TotalBytes += r.Bytes
+	bw.sum.Services[r.Service]++
+	if r.TimeS > bw.sum.SpanS {
+		bw.sum.SpanS = r.TimeS
+	}
+	bw.allVolumes = append(bw.allVolumes, r.Bytes)
+
+	if len(bw.times) == binBlockRecords {
+		return bw.flushBlock()
+	}
+	return nil
+}
+
+// writeColumn frames one encoded column: enc byte, payload length,
+// payload.
+func (bw *binWriter) writeColumn(enc byte, payload []byte) error {
+	h := bw.scratch[:5]
+	h[0] = enc
+	binary.LittleEndian.PutUint32(h[1:5], uint32(len(payload)))
+	if _, err := bw.cw.Write(h); err != nil {
+		return err
+	}
+	_, err := bw.cw.Write(payload)
+	return err
+}
+
+// encodeRawF64 appends the column as raw IEEE-754 bit patterns.
+func encodeRawF64(vs []float64, buf []byte) []byte {
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// encodeDecimal appends the per-value scaled-decimal form, failing if
+// any value is not decimal-exact.
+func encodeDecimal(vs []float64, buf []byte) ([]byte, bool) {
+	for _, v := range vs {
+		m, k, ok := decimalParts(v)
+		if !ok {
+			return nil, false
+		}
+		buf = binary.AppendUvarint(buf, uint64(m)<<2|uint64(k))
+	}
+	return buf, true
+}
+
+// encodeDelta appends the common-scale delta form: the column's
+// maximal per-value scale, the first scaled value, then zigzag deltas.
+func encodeDelta(vs []float64, buf []byte) ([]byte, bool) {
+	maxK := 0
+	for _, v := range vs {
+		_, k, ok := decimalParts(v)
+		if !ok {
+			return nil, false
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	buf = append(buf, byte(maxK))
+	prev := int64(0)
+	for i, v := range vs {
+		m, ok := scaledInt(v, maxK)
+		if !ok {
+			return nil, false
+		}
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(m))
+		} else {
+			buf = binary.AppendUvarint(buf, zigzag(m-prev))
+		}
+		prev = m
+	}
+	return buf, true
+}
+
+// encodeDerived succeeds when every throughput equals Bytes/DurationS
+// bit-exactly — the generator's own arithmetic — making the column
+// free.
+func encodeDerived(thrs, vols, durs []float64) bool {
+	for i, v := range thrs {
+		if math.Float64bits(v) != math.Float64bits(vols[i]/durs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// encodePredict appends decimal-scaled residuals of the throughput
+// column against the volume/duration predictor.
+func encodePredict(thrs, vols, durs []float64, buf []byte) ([]byte, bool) {
+	maxK := 0
+	for _, v := range thrs {
+		_, k, ok := decimalParts(v)
+		if !ok {
+			return nil, false
+		}
+		if k > maxK {
+			maxK = k
+		}
+	}
+	buf = append(buf, byte(maxK))
+	for i, v := range thrs {
+		m, ok := scaledInt(v, maxK)
+		if !ok {
+			return nil, false
+		}
+		buf = binary.AppendUvarint(buf, zigzag(m-predDecimal(vols[i], durs[i], maxK)))
+	}
+	return buf, true
+}
+
+// flushBlock writes the pending columns as one block section, picking
+// each column's encoding.
+func (bw *binWriter) flushBlock() error {
+	n := len(bw.times)
+	if n == 0 {
+		return nil
+	}
+	b := bw.scratch[:5]
+	b[0] = tagBlock
+	binary.LittleEndian.PutUint32(b[1:5], uint32(n))
+	if _, err := bw.cw.Write(b); err != nil {
+		return err
+	}
+
+	emit := func(enc byte, payload []byte) error {
+		err := bw.writeColumn(enc, payload)
+		if cap(payload) > cap(bw.colbuf) {
+			bw.colbuf = payload[:0]
+		}
+		return err
+	}
+
+	// TimeS: establishment times are nearly sorted and quantized in
+	// measurement exports — delta first, then per-value decimal, then
+	// raw.
+	if payload, ok := encodeDelta(bw.times, bw.colbuf[:0]); ok {
+		if err := emit(encDelta, payload); err != nil {
+			return err
+		}
+	} else if payload, ok := encodeDecimal(bw.times, bw.colbuf[:0]); ok {
+		if err := emit(encDecimal, payload); err != nil {
+			return err
+		}
+	} else if err := emit(encRaw, encodeRawF64(bw.times, bw.colbuf[:0])); err != nil {
+		return err
+	}
+
+	// Service: dense dictionary indices, almost always one byte.
+	svcPayload := bw.colbuf[:0]
+	for _, s := range bw.svcs {
+		svcPayload = binary.AppendUvarint(svcPayload, uint64(s))
+	}
+	if err := emit(encVarint, svcPayload); err != nil {
+		return err
+	}
+
+	// Bytes and DurationS: decimal when quantized, raw otherwise.
+	for _, col := range [][]float64{bw.volumes, bw.durs} {
+		if payload, ok := encodeDecimal(col, bw.colbuf[:0]); ok {
+			if err := emit(encDecimal, payload); err != nil {
+				return err
+			}
+		} else if err := emit(encRaw, encodeRawF64(col, bw.colbuf[:0])); err != nil {
+			return err
+		}
+	}
+
+	// Throughput: free when it is exactly Bytes/DurationS, tiny
+	// residuals when quantized, raw otherwise.
+	switch {
+	case encodeDerived(bw.thrs, bw.volumes, bw.durs):
+		if err := emit(encDerived, nil); err != nil {
+			return err
+		}
+	default:
+		if payload, ok := encodePredict(bw.thrs, bw.volumes, bw.durs, bw.colbuf[:0]); ok {
+			if err := emit(encPredict, payload); err != nil {
+				return err
+			}
+		} else if err := emit(encRaw, encodeRawF64(bw.thrs, bw.colbuf[:0])); err != nil {
+			return err
+		}
+	}
+
+	bw.times = bw.times[:0]
+	bw.svcs = bw.svcs[:0]
+	bw.volumes = bw.volumes[:0]
+	bw.durs = bw.durs[:0]
+	bw.thrs = bw.thrs[:0]
+	return nil
+}
+
+// finish flushes the last block and writes the footer and trailer.
+// Idempotent: later calls are no-ops.
+func (bw *binWriter) finish() error {
+	if bw.finished {
+		return nil
+	}
+	if err := bw.flushBlock(); err != nil {
+		return err
+	}
+	bw.finished = true
+	bw.sum.fillQuantiles(bw.allVolumes)
+	bw.allVolumes = nil
+	sumJSON, err := json.Marshal(bw.sum)
+	if err != nil {
+		return fmt.Errorf("trace: bin: summary encode: %w", err)
+	}
+	footerOff := bw.cw.off
+	b := bw.scratch[:5]
+	b[0] = tagFooter
+	binary.LittleEndian.PutUint32(b[1:5], uint32(len(sumJSON)))
+	if _, err := bw.cw.Write(b); err != nil {
+		return err
+	}
+	if _, err := bw.cw.Write(sumJSON); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(bw.scratch[:8], footerOff)
+	if _, err := bw.cw.Write(bw.scratch[:8]); err != nil {
+		return err
+	}
+	// The CRC covers everything up to and including the footer offset;
+	// it is written outside its own checksum, directly to the
+	// underlying writer.
+	binary.LittleEndian.PutUint32(bw.scratch[:4], bw.cw.crc)
+	_, err = bw.cw.w.Write(bw.scratch[:4])
+	return err
+}
+
+// --- reading ----------------------------------------------------------
+
+// binCountingReader accumulates a CRC-32C and a byte offset over
+// everything read through it.
+type binCountingReader struct {
+	r   io.Reader
+	crc uint32
+	off uint64
+}
+
+func (cr *binCountingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, binCRCTable, p[:n])
+	cr.off += uint64(n)
+	return n, err
+}
+
+// binColumn is one framed column read off the stream.
+type binColumn struct {
+	enc     byte
+	payload []byte
+}
+
+// uvarints decodes exactly n uvarints spanning the whole payload.
+func uvarints(payload []byte, n int) ([]uint64, error) {
+	out := make([]uint64, n)
+	pos := 0
+	for i := range out {
+		v, w := binary.Uvarint(payload[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("varint %d truncated", i)
+		}
+		out[i] = v
+		pos += w
+	}
+	if pos != len(payload) {
+		return nil, fmt.Errorf("%d trailing payload bytes", len(payload)-pos)
+	}
+	return out, nil
+}
+
+// decodeFloatColumn reconstructs a float column. The derived and
+// predict encodings consume the previously decoded volume and duration
+// columns (nil for the columns before them, which also forbids those
+// encodings there).
+func decodeFloatColumn(col binColumn, n int, vols, durs []float64) ([]float64, error) {
+	out := make([]float64, n)
+	switch col.enc {
+	case encRaw:
+		if len(col.payload) != n*8 {
+			return nil, fmt.Errorf("raw column carries %d bytes, want %d", len(col.payload), n*8)
+		}
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(col.payload[i*8:]))
+		}
+	case encDecimal:
+		vs, err := uvarints(col.payload, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vs {
+			k := v & 3
+			out[i] = float64(v>>2) / binPow10[k]
+		}
+	case encDelta:
+		if len(col.payload) < 1 {
+			return nil, fmt.Errorf("delta column missing scale")
+		}
+		k := int(col.payload[0])
+		if k >= len(binPow10) {
+			return nil, fmt.Errorf("delta column scale %d", k)
+		}
+		vs, err := uvarints(col.payload[1:], n)
+		if err != nil {
+			return nil, err
+		}
+		m := int64(0)
+		for i, v := range vs {
+			if i == 0 {
+				m = int64(v)
+			} else {
+				m += unzigzag(v)
+			}
+			out[i] = float64(m) / binPow10[k]
+		}
+	case encDerived:
+		if vols == nil {
+			return nil, fmt.Errorf("derived encoding outside the throughput column")
+		}
+		if len(col.payload) != 0 {
+			return nil, fmt.Errorf("derived column carries %d payload bytes", len(col.payload))
+		}
+		for i := range out {
+			out[i] = vols[i] / durs[i]
+		}
+	case encPredict:
+		if vols == nil {
+			return nil, fmt.Errorf("predict encoding outside the throughput column")
+		}
+		if len(col.payload) < 1 {
+			return nil, fmt.Errorf("predict column missing scale")
+		}
+		k := int(col.payload[0])
+		if k >= len(binPow10) {
+			return nil, fmt.Errorf("predict column scale %d", k)
+		}
+		vs, err := uvarints(col.payload[1:], n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vs {
+			m := predDecimal(vols[i], durs[i], k) + unzigzag(v)
+			out[i] = float64(m) / binPow10[k]
+		}
+	default:
+		return nil, fmt.Errorf("float column encoding %#02x", col.enc)
+	}
+	return out, nil
+}
+
+// decodeServiceColumn reconstructs the service index column.
+func decodeServiceColumn(col binColumn, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	switch col.enc {
+	case encRaw:
+		if len(col.payload) != n*4 {
+			return nil, fmt.Errorf("raw service column carries %d bytes, want %d", len(col.payload), n*4)
+		}
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(col.payload[i*4:])
+		}
+	case encVarint:
+		vs, err := uvarints(col.payload, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vs {
+			if v > math.MaxUint32 {
+				return nil, fmt.Errorf("service index %d overflows", v)
+			}
+			out[i] = uint32(v)
+		}
+	default:
+		return nil, fmt.Errorf("service column encoding %#02x", col.enc)
+	}
+	return out, nil
+}
+
+// readBin decodes a whole MTTR stream: dict and block sections in
+// order, the footer, and the CRC trailer. Any structural violation —
+// unknown tag, out-of-range service index, bad trailer — is an error,
+// never a panic or a silently short result.
+func readBin(r io.Reader) ([]Record, error) {
+	cr := &binCountingReader{r: r}
+	var scratch [8]byte
+	if _, err := io.ReadFull(cr, scratch[:6]); err != nil {
+		return nil, fmt.Errorf("trace: bin header: %w", err)
+	}
+	if string(scratch[:4]) != binMagic {
+		return nil, fmt.Errorf("trace: not an MTTR trace (magic %q)", scratch[:4])
+	}
+	if v := binary.LittleEndian.Uint16(scratch[4:6]); v != BinVersion {
+		return nil, fmt.Errorf("trace: unsupported MTTR version %d (have %d)", v, BinVersion)
+	}
+	var (
+		dict    []string
+		out     []Record
+		footOff uint64
+		sawFoot bool
+	)
+	readColumn := func(n uint32) (binColumn, error) {
+		var h [5]byte
+		if _, err := io.ReadFull(cr, h[:]); err != nil {
+			return binColumn{}, fmt.Errorf("column header: %w", err)
+		}
+		plen := binary.LittleEndian.Uint32(h[1:5])
+		if plen > 10*n+16 {
+			return binColumn{}, fmt.Errorf("column declares %d payload bytes for %d records", plen, n)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(cr, payload); err != nil {
+			return binColumn{}, fmt.Errorf("column payload: %w", err)
+		}
+		return binColumn{enc: h[0], payload: payload}, nil
+	}
+	for !sawFoot {
+		sectionOff := cr.off
+		if _, err := io.ReadFull(cr, scratch[:1]); err != nil {
+			return nil, fmt.Errorf("trace: bin section tag: %w", err)
+		}
+		switch scratch[0] {
+		case tagDict:
+			if _, err := io.ReadFull(cr, scratch[:6]); err != nil {
+				return nil, fmt.Errorf("trace: bin dict entry: %w", err)
+			}
+			idx := binary.LittleEndian.Uint32(scratch[:4])
+			if idx != uint32(len(dict)) || idx >= MaxBinDictEntries {
+				return nil, fmt.Errorf("trace: bin dict index %d (want %d)", idx, len(dict))
+			}
+			nameLen := int(binary.LittleEndian.Uint16(scratch[4:6]))
+			name := make([]byte, nameLen)
+			if _, err := io.ReadFull(cr, name); err != nil {
+				return nil, fmt.Errorf("trace: bin dict name: %w", err)
+			}
+			dict = append(dict, string(name))
+		case tagBlock:
+			if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
+				return nil, fmt.Errorf("trace: bin block header: %w", err)
+			}
+			n := binary.LittleEndian.Uint32(scratch[:4])
+			if n == 0 || n > MaxBinBlockRecords {
+				return nil, fmt.Errorf("trace: bin block declares %d records", n)
+			}
+			cols := make([]binColumn, 5)
+			for i := range cols {
+				col, err := readColumn(n)
+				if err != nil {
+					return nil, fmt.Errorf("trace: bin block: %w", err)
+				}
+				cols[i] = col
+			}
+			times, err := decodeFloatColumn(cols[0], int(n), nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bin block times: %w", err)
+			}
+			svcs, err := decodeServiceColumn(cols[1], int(n))
+			if err != nil {
+				return nil, fmt.Errorf("trace: bin block services: %w", err)
+			}
+			for _, s := range svcs {
+				if s >= uint32(len(dict)) {
+					return nil, fmt.Errorf("trace: bin service index %d outside %d-entry dict", s, len(dict))
+				}
+			}
+			volumes, err := decodeFloatColumn(cols[2], int(n), nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bin block volumes: %w", err)
+			}
+			durs, err := decodeFloatColumn(cols[3], int(n), nil, nil)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bin block durations: %w", err)
+			}
+			thrs, err := decodeFloatColumn(cols[4], int(n), volumes, durs)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bin block throughputs: %w", err)
+			}
+			base := len(out)
+			out = append(out, make([]Record, n)...)
+			for i := 0; i < int(n); i++ {
+				rec := Record{
+					TimeS:      times[i],
+					Service:    dict[svcs[i]],
+					Bytes:      volumes[i],
+					DurationS:  durs[i],
+					Throughput: thrs[i],
+				}
+				if err := rec.Validate(); err != nil {
+					return nil, fmt.Errorf("trace: bin record %d: %w", base+i+1, err)
+				}
+				out[base+i] = rec
+			}
+		case tagFooter:
+			footOff = sectionOff
+			if _, err := io.ReadFull(cr, scratch[:4]); err != nil {
+				return nil, fmt.Errorf("trace: bin footer length: %w", err)
+			}
+			sumLen := binary.LittleEndian.Uint32(scratch[:4])
+			if sumLen > 1<<24 {
+				return nil, fmt.Errorf("trace: bin footer declares %d summary bytes", sumLen)
+			}
+			sumJSON := make([]byte, sumLen)
+			if _, err := io.ReadFull(cr, sumJSON); err != nil {
+				return nil, fmt.Errorf("trace: bin footer summary: %w", err)
+			}
+			var sum Summary
+			if err := json.Unmarshal(sumJSON, &sum); err != nil {
+				return nil, fmt.Errorf("trace: bin footer summary: %w", err)
+			}
+			if sum.Sessions != len(out) {
+				return nil, fmt.Errorf("trace: bin footer says %d sessions, blocks carry %d", sum.Sessions, len(out))
+			}
+			sawFoot = true
+		default:
+			return nil, fmt.Errorf("trace: bin unknown section tag %#02x", scratch[0])
+		}
+	}
+	// Trailer: footer offset folds into the CRC, the CRC itself does
+	// not.
+	if _, err := io.ReadFull(cr, scratch[:8]); err != nil {
+		return nil, fmt.Errorf("trace: bin trailer: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(scratch[:8]); got != footOff {
+		return nil, fmt.Errorf("trace: bin trailer footer offset %d, footer at %d", got, footOff)
+	}
+	want := cr.crc
+	if _, err := io.ReadFull(cr.r, scratch[:4]); err != nil {
+		return nil, fmt.Errorf("trace: bin trailer CRC: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(scratch[:4]); got != want {
+		return nil, fmt.Errorf("trace: bin CRC mismatch (stored %08x, computed %08x)", got, want)
+	}
+	if _, err := io.ReadFull(cr.r, scratch[:1]); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing bytes after MTTR trailer")
+	}
+	return out, nil
+}
+
+// ReadSummary reads the embedded Summary of an MTTR trace by seeking
+// straight to the footer through the trailer — no record block is
+// touched, so it is O(footer) regardless of trace size. The CRC
+// protects the whole file and is only verified by a full Read; this
+// fast path validates the structural invariants it traverses (magic,
+// version, trailer offset, footer framing).
+func ReadSummary(rs io.ReadSeeker) (Summary, error) {
+	var scratch [12]byte
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary: %w", err)
+	}
+	if _, err := io.ReadFull(rs, scratch[:6]); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary header: %w", err)
+	}
+	if string(scratch[:4]) != binMagic {
+		return Summary{}, fmt.Errorf("trace: not an MTTR trace (magic %q)", scratch[:4])
+	}
+	if v := binary.LittleEndian.Uint16(scratch[4:6]); v != BinVersion {
+		return Summary{}, fmt.Errorf("trace: unsupported MTTR version %d (have %d)", v, BinVersion)
+	}
+	end, err := rs.Seek(-12, io.SeekEnd)
+	if err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary trailer: %w", err)
+	}
+	if _, err := io.ReadFull(rs, scratch[:12]); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary trailer: %w", err)
+	}
+	footOff := binary.LittleEndian.Uint64(scratch[:8])
+	if footOff < 6 || footOff >= uint64(end) {
+		return Summary{}, fmt.Errorf("trace: bin summary: footer offset %d out of range", footOff)
+	}
+	if _, err := rs.Seek(int64(footOff), io.SeekStart); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary: %w", err)
+	}
+	if _, err := io.ReadFull(rs, scratch[:5]); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary footer: %w", err)
+	}
+	if scratch[0] != tagFooter {
+		return Summary{}, fmt.Errorf("trace: bin summary: tag %#02x at footer offset", scratch[0])
+	}
+	sumLen := binary.LittleEndian.Uint32(scratch[1:5])
+	if uint64(footOff)+5+uint64(sumLen) != uint64(end) {
+		return Summary{}, fmt.Errorf("trace: bin summary: footer length %d inconsistent with trailer", sumLen)
+	}
+	sumJSON := make([]byte, sumLen)
+	if _, err := io.ReadFull(rs, sumJSON); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary read: %w", err)
+	}
+	var sum Summary
+	if err := json.Unmarshal(sumJSON, &sum); err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary decode: %w", err)
+	}
+	return sum, nil
+}
+
+// ReadSummaryFile is ReadSummary over a file path.
+func ReadSummaryFile(path string) (Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Summary{}, fmt.Errorf("trace: bin summary: %w", err)
+	}
+	defer f.Close()
+	return ReadSummary(f)
+}

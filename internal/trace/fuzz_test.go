@@ -35,6 +35,63 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
+// FuzzReadBin targets the MTTR columnar reader: seeded with valid
+// traces (which must round-trip) plus hand-corrupted sections, the
+// fuzzer mutates framing, encodings, dict entries, footer and trailer.
+// Any input must either fail cleanly or decode to records that pass
+// Validate — never panic, never over-allocate past the header caps,
+// and never return data whose CRC does not match.
+func FuzzReadBin(f *testing.F) {
+	seedRecords := [][]Record{
+		nil,
+		{{TimeS: 0, Service: "web", Bytes: 100, DurationS: 2, Throughput: 50}},
+		{
+			{TimeS: 0.25, Service: "video", Bytes: 2e6, DurationS: 30, Throughput: 2e6 / 30},
+			{TimeS: 1.5, Service: "web", Bytes: 512.125, DurationS: 0.5, Throughput: 1024.25},
+			{TimeS: 1.5, Service: "video", Bytes: 1e15, DurationS: 86400, Throughput: 11574074074.074},
+		},
+	}
+	for _, recs := range seedRecords {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Bin)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		data := buf.Bytes()
+		f.Add(append([]byte(nil), data...))
+		// Truncations and single-byte corruptions as extra seeds.
+		f.Add(append([]byte(nil), data[:len(data)/2]...))
+		if len(data) > 8 {
+			mut := append([]byte(nil), data...)
+			mut[7] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("MTTR"))
+	f.Add([]byte("MTTR\x01\x00"))
+	f.Add([]byte("MTTR\x01\x00\x02\xff\xff\xff\xff"))         // huge block
+	f.Add([]byte("MTTR\x01\x00\x01\xff\xff\xff\xff\xff\xff")) // bad dict index
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, rec := range records {
+			if vErr := rec.Validate(); vErr != nil {
+				t.Errorf("record %d parsed without error but fails Validate: %v", i, vErr)
+			}
+		}
+	})
+}
+
 // FuzzReadCSV targets the CSV row parser directly with a fixed prefix
 // so the fuzzer spends its budget on field-level corruption instead of
 // format sniffing.

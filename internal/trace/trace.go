@@ -14,7 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
+
+	"mobiletraffic/internal/mathx"
 )
 
 // Record is one session in a trace.
@@ -47,17 +50,23 @@ type Format int
 const (
 	CSV Format = iota
 	JSONLines
+	// Bin is the MTTR columnar binary format (bin.go): per-column
+	// contiguous raw-bits blocks, a service string table, an embedded
+	// Summary footer and a CRC-32C trailer.
+	Bin
 )
 
-// ParseFormat maps "csv" / "json" to a Format.
+// ParseFormat maps "csv" / "json" / "bin" to a Format.
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "csv":
 		return CSV, nil
 	case "json", "jsonl":
 		return JSONLines, nil
+	case "bin", "mttr":
+		return Bin, nil
 	default:
-		return 0, fmt.Errorf("trace: unknown format %q (want csv or json)", s)
+		return 0, fmt.Errorf("trace: unknown format %q (want csv, json or bin)", s)
 	}
 }
 
@@ -66,12 +75,13 @@ type Writer struct {
 	format Format
 	csvw   *csv.Writer
 	jsonw  *json.Encoder
+	binw   *binWriter
 	wrote  int
 	buf    *bufio.Writer
 }
 
 // NewWriter creates a trace writer; for CSV it emits the header
-// immediately.
+// immediately, for Bin the MTTR magic and version.
 func NewWriter(w io.Writer, format Format) (*Writer, error) {
 	buf := bufio.NewWriter(w)
 	out := &Writer{format: format, buf: buf}
@@ -83,6 +93,12 @@ func NewWriter(w io.Writer, format Format) (*Writer, error) {
 		}
 	case JSONLines:
 		out.jsonw = json.NewEncoder(buf)
+	case Bin:
+		var err error
+		out.binw, err = newBinWriter(buf)
+		if err != nil {
+			return nil, err
+		}
 	default:
 		return nil, fmt.Errorf("trace: unknown format %d", format)
 	}
@@ -104,6 +120,8 @@ func (w *Writer) Write(r Record) error {
 			strconv.FormatFloat(r.DurationS, 'f', 3, 64),
 			strconv.FormatFloat(r.Throughput, 'f', 3, 64),
 		})
+	case Bin:
+		return w.binw.add(r)
 	default:
 		return w.jsonw.Encode(r)
 	}
@@ -113,7 +131,8 @@ func (w *Writer) Write(r Record) error {
 func (w *Writer) Count() int { return w.wrote }
 
 // Flush drains buffered output; call it before closing the underlying
-// writer.
+// writer. For Bin it finalizes the trace — last block, Summary footer,
+// CRC trailer — so no further Write may follow.
 func (w *Writer) Flush() error {
 	if w.csvw != nil {
 		w.csvw.Flush()
@@ -121,19 +140,28 @@ func (w *Writer) Flush() error {
 			return err
 		}
 	}
+	if w.binw != nil {
+		if err := w.binw.finish(); err != nil {
+			return err
+		}
+	}
 	return w.buf.Flush()
 }
 
 // Read parses a whole trace from r, auto-detecting the format from the
-// first byte ('{' selects JSON lines, anything else CSV).
+// leading bytes ("MTTR" selects the columnar binary format, '{' JSON
+// lines, anything else CSV).
 func Read(r io.Reader) ([]Record, error) {
 	br := bufio.NewReader(r)
-	first, err := br.Peek(1)
-	if err != nil {
+	first, err := br.Peek(4)
+	if err != nil && (len(first) == 0 || !errors.Is(err, io.EOF)) {
 		if errors.Is(err, io.EOF) {
 			return nil, nil
 		}
 		return nil, err
+	}
+	if string(first) == binMagic {
+		return readBin(br)
 	}
 	if first[0] == '{' {
 		return readJSON(br)
@@ -199,24 +227,46 @@ func readCSV(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
-// Summary condenses a trace for reporting.
+// Summary condenses a trace for reporting. The binary format embeds it
+// in its footer so consumers read counts and volume quantiles without
+// scanning the record blocks (see ReadSummary).
 type Summary struct {
-	Sessions   int
-	TotalBytes float64
-	Services   map[string]int
-	SpanS      float64 // time of last establishment
+	Sessions   int            `json:"sessions"`
+	TotalBytes float64        `json:"total_bytes"`
+	Services   map[string]int `json:"services"`
+	SpanS      float64        `json:"span_s"` // time of last establishment
+	// Volume quantiles of the per-session traffic volume (bytes);
+	// zero when the trace is empty.
+	VolumeP50 float64 `json:"volume_p50"`
+	VolumeP90 float64 `json:"volume_p90"`
+	VolumeP99 float64 `json:"volume_p99"`
 }
 
 // Summarize computes aggregate statistics of a trace.
 func Summarize(records []Record) Summary {
 	s := Summary{Services: map[string]int{}}
+	volumes := make([]float64, 0, len(records))
 	for _, r := range records {
 		s.Sessions++
 		s.TotalBytes += r.Bytes
 		s.Services[r.Service]++
+		volumes = append(volumes, r.Bytes)
 		if r.TimeS > s.SpanS {
 			s.SpanS = r.TimeS
 		}
 	}
+	s.fillQuantiles(volumes)
 	return s
+}
+
+// fillQuantiles sets the volume quantiles from an (unsorted) sample of
+// session volumes.
+func (s *Summary) fillQuantiles(volumes []float64) {
+	if len(volumes) == 0 {
+		return
+	}
+	sort.Float64s(volumes)
+	s.VolumeP50 = mathx.QuantileSorted(volumes, 0.50)
+	s.VolumeP90 = mathx.QuantileSorted(volumes, 0.90)
+	s.VolumeP99 = mathx.QuantileSorted(volumes, 0.99)
 }
