@@ -12,7 +12,9 @@ import (
 	"sync"
 	"testing"
 
+	"mobiletraffic/internal/core"
 	"mobiletraffic/internal/experiments"
+	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/netsim"
 	"mobiletraffic/internal/probe"
 	"mobiletraffic/internal/trace"
@@ -150,6 +152,90 @@ func BenchmarkTraceWriteCSV(b *testing.B) { benchmarkTraceWrite(b, trace.CSV) }
 // same 1M-record stream: the acceptance bar is ≥3× fewer bytes and
 // ≥2× less wall time than CSV.
 func BenchmarkTraceWriteBin(b *testing.B) { benchmarkTraceWrite(b, trace.Bin) }
+
+// benchmarkGenerateCampaign times a 10-BS x 7-day campaign (one BS per
+// fitted load decile) on the parallel generation plane at the given
+// worker count, reporting sessions/op. The output is bit-identical at
+// every worker count, so the workers=1 / workers=4 pair measures pure
+// scheduling overhead vs scaling.
+func benchmarkGenerateCampaign(b *testing.B, workers int) {
+	env := benchEnvironment(b)
+	gen, err := core.NewGenerator(env.Models, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.CampaignSpec{Arrivals: env.Arrivals, Days: 7, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sessions int
+	for i := 0; i < b.N; i++ {
+		blocks, err := gen.GenerateCampaign(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions = 0
+		for j := range blocks {
+			sessions += blocks[j].Sessions()
+		}
+		if sessions == 0 {
+			b.Fatal("campaign generated no sessions")
+		}
+	}
+	b.ReportMetric(float64(sessions), "sessions/op")
+}
+
+// BenchmarkGenerateCampaign is the single-worker baseline of the
+// parallel plane (the cost of the batched cell kernel itself).
+func BenchmarkGenerateCampaign(b *testing.B) { benchmarkGenerateCampaign(b, 1) }
+
+// BenchmarkGenerateCampaign4 runs the same campaign on 4 workers; on a
+// multi-core box the acceptance bar for the plane is >= 2x wall-clock
+// over the single-worker baseline (BENCH_pr8.json records both).
+func BenchmarkGenerateCampaign4(b *testing.B) { benchmarkGenerateCampaign(b, 4) }
+
+// benchGenBatch times one batch kernel against 1024-element buffers.
+func benchGenBatch(b *testing.B, fill func(p *mathx.PCG, dst []float64)) {
+	var rng mathx.PCG
+	rng.SeedStream(1, 2, 3)
+	dst := make([]float64, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill(&rng, dst)
+	}
+	b.ReportMetric(float64(len(dst)), "draws/op")
+}
+
+// BenchmarkGenBatchUniform/Norm/Exp time the fill-N draw kernels the
+// campaign cells run on (state kept register-resident across the loop).
+func BenchmarkGenBatchUniform(b *testing.B) { benchGenBatch(b, (*mathx.PCG).FillFloat64) }
+func BenchmarkGenBatchNorm(b *testing.B)    { benchGenBatch(b, (*mathx.PCG).FillNorm) }
+func BenchmarkGenBatchExp(b *testing.B)     { benchGenBatch(b, (*mathx.PCG).FillExp) }
+
+// BenchmarkGenBatchAliasPick times the branch-light batched alias pick
+// over a 28-way categorical (the Table 1 service attribution shape).
+func BenchmarkGenBatchAliasPick(b *testing.B) {
+	weights := make([]float64, 28)
+	rng0 := rand.New(rand.NewSource(5))
+	for i := range weights {
+		weights[i] = rng0.Float64() + 0.01
+	}
+	tab, err := mathx.NewAliasTable(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rng mathx.PCG
+	rng.SeedStream(4, 5, 6)
+	us := make([]float64, 1024)
+	rng.FillFloat64(us)
+	out := make([]int32, len(us))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.PickBatch(us, out)
+	}
+	b.ReportMetric(float64(len(us)), "picks/op")
+}
 
 // BenchmarkAggregateVolume times the Eq. (2) nationwide per-service
 // volume aggregation over a realistic campaign's cell population.

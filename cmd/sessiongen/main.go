@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mobiletraffic"
 	"mobiletraffic/internal/netsim"
@@ -39,6 +40,7 @@ func main() {
 		fitDays    = flag.Int("fit-days", 3, "days in the fitting simulation")
 		sampler    = flag.String("sampler", "v2", "fitting-simulation sampling engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
 		genEngine  = flag.String("gen", "v2", "generation engine: v2 (fast, table-driven) or v1 (historical byte-for-byte stream)")
+		workers    = flag.Int("workers", 0, "generate per-day cells on the parallel campaign plane with this many workers (-1 = all CPUs; 0 = the historical serial single-stream path; v2 only)")
 		mAddr      = flag.String("metrics-addr", "", "serve /metrics, /statusz, /events and /debug/pprof on this address (e.g. :9090)")
 	)
 	flag.Parse()
@@ -109,32 +111,90 @@ func main() {
 	// run reports completion fraction and ETA like a campaign does.
 	progress := obs.NewProgress("sessiongen_minutes", *minutes)
 	obs.TrackProgressOf(progress)
-	for m := 0; m < *minutes; m++ {
-		progress.Start(m)
-		minuteOfDay := (*startMin + m) % (24 * 60)
-		peak := netsim.IsDaytime(minuteOfDay)
-		sessions, err := gen.Minute(*class, peak)
+	start := time.Now()
+	if *workers != 0 {
+		// Parallel campaign plane: whole days generated concurrently
+		// from per-(class, day) substreams, emitted in order and
+		// truncated to the requested minutes. Output depends only on
+		// (seed, class, minutes), never on the worker count. Session
+		// start times come from the sampled within-minute offsets, and
+		// the day/night mode is drawn against the diurnal phase profile
+		// (the transition-aware choice of the experiment drivers) rather
+		// than the serial path's hard day/night switch.
+		pw := *workers
+		if pw < 0 {
+			pw = 0 // CampaignSpec: <= 0 means all CPUs
+		}
+		days := (*minutes + 24*60 - 1) / (24 * 60)
+		blocks, err := gen.GenerateCampaign(mobiletraffic.CampaignSpec{
+			Arrivals:    []*mobiletraffic.ArrivalModel{set.Arrivals[*class]},
+			Keys:        []uint64{uint64(*class)},
+			Days:        days,
+			StartMinute: *startMin,
+			Workers:     pw,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		for i, s := range sessions {
-			err := w.Write(trace.Record{
-				TimeS:      float64(m)*60 + float64(i)*60/float64(len(sessions)+1),
-				Service:    s.Service,
-				Bytes:      s.Volume,
-				DurationS:  s.Duration,
-				Throughput: s.Throughput,
-			})
+		for d := range blocks {
+			blk := &blocks[d]
+			for m := 0; m < 24*60; m++ {
+				gm := d*24*60 + m
+				if gm >= *minutes {
+					break
+				}
+				progress.Start(gm)
+				lo, hi := blk.MinuteRange(m)
+				for i := lo; i < hi; i++ {
+					err := w.Write(trace.Record{
+						TimeS:      float64(d)*86400 + blk.Start[i],
+						Service:    set.Services[blk.Svc[i]].Name,
+						Bytes:      blk.Volume[i],
+						DurationS:  blk.Duration[i],
+						Throughput: blk.Volume[i] / blk.Duration[i],
+					})
+					if err != nil {
+						fatal(err)
+					}
+				}
+				progress.Done(gm)
+			}
+		}
+	} else {
+		sessionsCtr := obs.CounterOf("gen_sessions_total")
+		minutesCtr := obs.CounterOf("gen_minutes_total")
+		for m := 0; m < *minutes; m++ {
+			progress.Start(m)
+			minuteOfDay := (*startMin + m) % (24 * 60)
+			peak := netsim.IsDaytime(minuteOfDay)
+			sessions, err := gen.Minute(*class, peak)
 			if err != nil {
 				fatal(err)
 			}
+			for i, s := range sessions {
+				err := w.Write(trace.Record{
+					TimeS:      float64(m)*60 + float64(i)*60/float64(len(sessions)+1),
+					Service:    s.Service,
+					Bytes:      s.Volume,
+					DurationS:  s.Duration,
+					Throughput: s.Throughput,
+				})
+				if err != nil {
+					fatal(err)
+				}
+			}
+			sessionsCtr.Add(int64(len(sessions)))
+			minutesCtr.Inc()
+			progress.Done(m)
 		}
-		progress.Done(m)
 	}
 	if err := w.Flush(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "generated %d sessions over %d minutes (class %d)\n", w.Count(), *minutes, *class)
+	elapsed := time.Since(start)
+	rate := float64(w.Count()) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "generated %d sessions over %d minutes (class %d) in %v (%.0f sessions/s)\n",
+		w.Count(), *minutes, *class, elapsed.Round(time.Millisecond), rate)
 }
 
 func fatal(err error) {

@@ -40,6 +40,22 @@ func ParseEngine(s string) (Engine, error) {
 	return "", fmt.Errorf("core: unknown generation engine %q (want v1 or v2)", s)
 }
 
+// Substream key domains of the v2 generation plane. A substream is a
+// mathx.PCG seeded SeedStream(master^domain, a, b); the domain salt
+// partitions the one master seed into disjoint stream families so a
+// generation substream can never coincide with the measurement
+// sampler's netsim substream of the same (seed, BS, day) — netsim
+// seeds SeedStream(seed, bs, day) with no salt — nor with each other.
+// See DESIGN.md "Generation engine streams" for the full keying table.
+const (
+	// genCampaignDomain keys the per-(BS, day) campaign substreams:
+	// a = the BS key (topology index unless overridden), b = the day.
+	genCampaignDomain uint64 = 0xB5DA_6E67_656E01CA
+	// genClientDomain keys the server-facing per-(client, stream id)
+	// substreams handed out by Generator.Substream.
+	genClientDomain uint64 = 0xC11E_5467_656E02AB
+)
+
 // lnMaxDuration is the [1 s, 24 h] duration ceiling in the natural-log
 // domain, shared by every v2 duration draw.
 var lnMaxDuration = math.Log(MaxSessionDuration)

@@ -196,6 +196,10 @@ type Generator struct {
 	// plus the precomputed generation plan.
 	pcg  mathx.PCG
 	plan *genPlan
+	// seed is the master seed, kept for deriving substreams (the
+	// per-(BS, day) campaign cells and per-(client, stream) server
+	// generators of the parallel generation plane).
+	seed uint64
 	// byName resolves Session's name argument to a service index.
 	byName map[string]int
 }
@@ -235,7 +239,7 @@ func NewGeneratorEngine(set *ModelSet, seed int64, engine Engine) (*Generator, e
 	for i := range set.Services {
 		shares[i] = set.Services[i].SessionShare / total
 	}
-	g := &Generator{Set: set, Engine: engine}
+	g := &Generator{Set: set, Engine: engine, seed: uint64(seed)}
 	g.byName = make(map[string]int, len(set.Services))
 	for i := range set.Services {
 		g.byName[set.Services[i].Name] = i
@@ -257,6 +261,34 @@ func NewGeneratorEngine(set *ModelSet, seed int64, engine Engine) (*Generator, e
 	g.plan = plan
 	g.pcg.SeedStream(uint64(seed), 0x67656e, 2)
 	return g, nil
+}
+
+// Substream returns an independent generator on the (client, stream)
+// cell of this generator's stream family: same compiled plan and model
+// set (shared, immutable), its own PCG seeded via
+// SeedStream(master^genClientDomain, client, stream). Substreams are
+// pure functions of (master seed, client, stream) — the order they are
+// created or drawn from never affects any stream's output — so a
+// session-stream server can hand every consumer its own generator and
+// stay deterministic under any interleaving. Substreams are a v2
+// feature: v1's contract is the historical single math/rand stream,
+// which has no substream decomposition, so v1 generators return an
+// error.
+func (g *Generator) Substream(client, stream uint64) (*Generator, error) {
+	return g.substream(genClientDomain, client, stream)
+}
+
+// substream derives the (a, b) cell generator of the given key domain.
+// The plan, byName table and ModelSet are shared read-only; only the
+// 16-byte PCG is per-substream state, so deriving one is allocation-
+// cheap enough to do per (BS, day) campaign cell.
+func (g *Generator) substream(domain, a, b uint64) (*Generator, error) {
+	if g.Engine != GenV2 {
+		return nil, fmt.Errorf("core: substreams need engine v2 (v1 preserves the historical single stream)")
+	}
+	sub := &Generator{Set: g.Set, Engine: g.Engine, plan: g.plan, seed: g.seed, byName: g.byName}
+	sub.pcg.SeedStream(g.seed^domain, a, b)
+	return sub, nil
 }
 
 // PickServiceIndex draws a service index by session share, without

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mobiletraffic/internal/netsim"
+	"mobiletraffic/internal/obs"
+)
+
+// This file is the deterministic parallel generation plane of engine
+// v2: campaign generation decomposed into independent per-(BS, day)
+// cells, each drawing from its own substream
+// (SeedStream(master^genCampaignDomain, key, day)), executed on the
+// shared claim-from-a-counter worker pool and stitched back in cell
+// index order. Because every cell's stream is a pure function of
+// (master seed, key, day), the output is bit-identical for any worker
+// count — including 1 — and for any schedule the pool happens to run.
+//
+// Inside a cell, the per-minute draws run on the batch kernels of
+// internal/mathx (FillFloat64 / FillNorm and AliasTable.PickBatch):
+// for a minute with n arrivals the cell consumes a fixed rectangle of
+// draws — one phase uniform, the arrival count draw, then exactly
+// 5·n variates in a fixed order (service uniforms, component uniforms,
+// volume Gaussians, duration-noise Gaussians, start uniforms) — so the
+// draw layout is independent of which services were picked or whether
+// a model has mixture peaks or noise. This is a new v2 stream: it
+// realizes the same released distributions as MinuteAppend but maps
+// draws differently, so campaign output is statistically (not
+// byte-for-byte) equivalent to the scalar path.
+
+// CampaignSpec describes a generation campaign: a grid of (BS, day)
+// cells over the given arrival models.
+type CampaignSpec struct {
+	// Arrivals holds one arrival model per BS in the campaign.
+	Arrivals []*ArrivalModel
+	// Keys holds the substream key of each BS; nil uses the slice
+	// index. Callers with stable topology identifiers should pass them
+	// here so a BS keeps its traffic when the campaign is re-sliced.
+	Keys []uint64
+	// Days is the number of days generated per BS.
+	Days int
+	// MinutesPerDay truncates each day (0 means a full 1440 minutes).
+	// The substream layout is per-day, so a truncated campaign is a
+	// prefix of the full one.
+	MinutesPerDay int
+	// StartMinute is minute 0's offset into the phase-weight table,
+	// for campaigns that do not start at midnight.
+	StartMinute int
+	// PhaseWeights gives the probability that a minute is in the
+	// daytime arrival mode, indexed by (StartMinute + minute) modulo
+	// its length. Nil uses the 1440-entry netsim.DayWeight diurnal
+	// profile.
+	PhaseWeights []float64
+	// Workers bounds the worker pool (<= 0 uses every CPU). The
+	// output does not depend on it.
+	Workers int
+}
+
+// DayBlock is one (BS, day) cell of campaign output in
+// structure-of-arrays layout with a CSR minute index: the sessions of
+// minute m are rows Offsets[m] to Offsets[m+1].
+type DayBlock struct {
+	BS  int // index into CampaignSpec.Arrivals
+	Day int
+	// Offsets has one entry per minute plus a trailing total.
+	Offsets []int32
+	// Per-session columns, all of length Offsets[len(Offsets)-1].
+	Svc      []int32   // service index into the generator's ModelSet
+	Volume   []float64 // bytes
+	Duration []float64 // seconds
+	Start    []float64 // session start in seconds from the day origin
+}
+
+// Sessions returns the number of sessions in the block.
+func (b *DayBlock) Sessions() int { return len(b.Svc) }
+
+// MinuteRange returns the half-open row range of minute m.
+func (b *DayBlock) MinuteRange(m int) (lo, hi int) {
+	return int(b.Offsets[m]), int(b.Offsets[m+1])
+}
+
+// defaultPhaseWeights is the lazily built 1440-minute diurnal profile
+// shared by campaigns that do not override PhaseWeights.
+var defaultPhaseWeights []float64
+
+func phaseWeightTable() []float64 {
+	if defaultPhaseWeights == nil {
+		w := make([]float64, 24*60)
+		for m := range w {
+			w[m] = netsim.DayWeight(m)
+		}
+		defaultPhaseWeights = w
+	}
+	return defaultPhaseWeights
+}
+
+// genScratch is one worker's reusable draw buffers: the batch kernels
+// fill them once per minute, so the steady state of a campaign worker
+// performs no per-minute allocation.
+type genScratch struct {
+	u, uc, zv, zd, us []float64
+	svc               []int32
+}
+
+func (s *genScratch) grow(n int) {
+	if cap(s.u) >= n {
+		s.u = s.u[:n]
+		s.uc = s.uc[:n]
+		s.zv = s.zv[:n]
+		s.zd = s.zd[:n]
+		s.us = s.us[:n]
+		s.svc = s.svc[:n]
+		return
+	}
+	c := 2 * cap(s.u)
+	if c < n {
+		c = n
+	}
+	s.u = make([]float64, n, c)
+	s.uc = make([]float64, n, c)
+	s.zv = make([]float64, n, c)
+	s.zd = make([]float64, n, c)
+	s.us = make([]float64, n, c)
+	s.svc = make([]int32, n, c)
+}
+
+// GenerateCampaign generates every (BS, day) cell of the spec on the
+// worker pool and returns the blocks in cell order (BS-major:
+// block index = bs*Days + day). The result is bit-identical for every
+// worker count and depends only on (generator seed, spec). Campaign
+// generation is a v2 feature; v1 generators return an error.
+func (g *Generator) GenerateCampaign(spec CampaignSpec) ([]DayBlock, error) {
+	if g.Engine != GenV2 {
+		return nil, errors.New("core: campaign generation needs engine v2 (v1 preserves the historical single stream)")
+	}
+	if len(spec.Arrivals) == 0 {
+		return nil, errors.New("core: campaign needs at least one arrival model")
+	}
+	for i, a := range spec.Arrivals {
+		if a == nil {
+			return nil, fmt.Errorf("core: campaign arrival model %d is nil", i)
+		}
+	}
+	if spec.Keys != nil && len(spec.Keys) != len(spec.Arrivals) {
+		return nil, fmt.Errorf("core: campaign has %d keys for %d arrival models", len(spec.Keys), len(spec.Arrivals))
+	}
+	if spec.Days <= 0 {
+		return nil, fmt.Errorf("core: campaign needs days >= 1, got %d", spec.Days)
+	}
+	minutes := spec.MinutesPerDay
+	if minutes == 0 {
+		minutes = 24 * 60
+	}
+	if minutes < 0 {
+		return nil, fmt.Errorf("core: campaign needs minutes per day >= 0, got %d", minutes)
+	}
+	weights := spec.PhaseWeights
+	if weights == nil {
+		weights = phaseWeightTable()
+	}
+	if len(weights) == 0 {
+		return nil, errors.New("core: campaign phase-weight table is empty")
+	}
+	if spec.StartMinute < 0 {
+		return nil, fmt.Errorf("core: campaign start minute %d is negative", spec.StartMinute)
+	}
+
+	cells := len(spec.Arrivals) * spec.Days
+	blocks := make([]DayBlock, cells)
+	workers := resolveWorkers(cells, spec.Workers)
+	scratch := make([]genScratch, workers)
+	runTasksWorker(cells, workers, func(w, cell int) {
+		bs := cell / spec.Days
+		day := cell % spec.Days
+		key := uint64(bs)
+		if spec.Keys != nil {
+			key = spec.Keys[bs]
+		}
+		blk := &blocks[cell]
+		blk.BS, blk.Day = bs, day
+		g.generateCell(blk, spec.Arrivals[bs], key, uint64(day), minutes, spec.StartMinute, weights, &scratch[w])
+	})
+	if obs.Enabled() {
+		var sessions int64
+		for i := range blocks {
+			sessions += int64(blocks[i].Sessions())
+		}
+		obs.CounterOf("gen_sessions_total").Add(sessions)
+		obs.CounterOf("gen_minutes_total").Add(int64(cells) * int64(minutes))
+	}
+	return blocks, nil
+}
+
+// GenerateDays is the single-BS convenience form of GenerateCampaign:
+// days day-blocks for one BS of the given load class (an index into
+// the model set's arrival models), keyed by the class.
+func (g *Generator) GenerateDays(class, days, workers int) ([]DayBlock, error) {
+	if class < 0 || class >= len(g.Set.Arrivals) {
+		return nil, fmt.Errorf("core: arrival class %d out of range [0, %d)", class, len(g.Set.Arrivals))
+	}
+	return g.GenerateCampaign(CampaignSpec{
+		Arrivals: []*ArrivalModel{g.Set.Arrivals[class]},
+		Keys:     []uint64{uint64(class)},
+		Days:     days,
+		Workers:  workers,
+	})
+}
+
+// generateCell fills one (BS, day) block from the cell's substream.
+// Per minute the stream consumes: one phase uniform, the arrival count
+// draw, then — when n > 0 — five rectangular batches of n variates in
+// a fixed order. Every variate is drawn unconditionally (component
+// uniforms even for peak-free models, noise Gaussians even at zero
+// noise), so the draw layout never depends on sampled structure and
+// two cells with the same key and day are always identical.
+func (g *Generator) generateCell(blk *DayBlock, arr *ArrivalModel, key, day uint64, minutes, startMinute int, weights []float64, sc *genScratch) {
+	var rng = g.pcg // copy the type, not the state:
+	rng.SeedStream(g.seed^genCampaignDomain, key, day)
+
+	blk.Offsets = make([]int32, minutes+1)
+	est := int(arr.PeakMu) * minutes / 2
+	if est < 64 {
+		est = 64
+	}
+	blk.Svc = make([]int32, 0, est)
+	blk.Volume = make([]float64, 0, est)
+	blk.Duration = make([]float64, 0, est)
+	blk.Start = make([]float64, 0, est)
+
+	plan := g.plan
+	for m := 0; m < minutes; m++ {
+		peak := rng.Float64() < weights[(startMinute+m)%len(weights)]
+		n := arr.SampleCountFast(peak, &rng)
+		if n > 0 {
+			sc.grow(n)
+			rng.FillFloat64(sc.u)
+			plan.svcPick.PickBatch(sc.u, sc.svc)
+			rng.FillFloat64(sc.uc)
+			rng.FillNorm(sc.zv)
+			rng.FillNorm(sc.zd)
+			rng.FillFloat64(sc.us)
+			base := float64(m) * 60
+			for i := 0; i < n; i++ {
+				svc := sc.svc[i]
+				sp := &plan.svcs[svc]
+				ci := 0
+				if sp.comp != nil {
+					ci = sp.comp.Pick(sc.uc[i])
+				}
+				lnV := sp.muLn[ci] + sp.sigLn[ci]*sc.zv[i]
+				var v float64
+				if lnV >= sp.lnCap {
+					v, lnV = sp.maxVol, sp.lnCap
+				} else {
+					v = math.Exp(lnV)
+				}
+				var d float64
+				if sp.degenerate {
+					d = 1
+				} else {
+					x := sp.invBeta*(lnV-sp.lnAlpha) + sp.noiseLn*sc.zd[i]
+					switch {
+					case x <= 0:
+						d = 1
+					case x >= lnMaxDuration:
+						d = MaxSessionDuration
+					default:
+						d = math.Exp(x)
+					}
+				}
+				blk.Svc = append(blk.Svc, svc)
+				blk.Volume = append(blk.Volume, v)
+				blk.Duration = append(blk.Duration, d)
+				blk.Start = append(blk.Start, base+sc.us[i]*60)
+			}
+		}
+		blk.Offsets[m+1] = int32(len(blk.Svc))
+	}
+}

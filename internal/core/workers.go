@@ -13,15 +13,40 @@ import (
 // keeps output ordering — and therefore every downstream consumer —
 // independent of the schedule.
 func runTasks(n, workers int, fn func(i int)) {
+	runTasksWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// RunTasks is the exported form of runTasks for the experiment drivers:
+// the same claim-from-a-counter pool the parallel fitting and
+// generation planes run on, so every fan-out in the repository shares
+// one scheduling (and therefore one determinism) story.
+func RunTasks(n, workers int, fn func(i int)) { runTasks(n, workers, fn) }
+
+// resolveWorkers normalizes a worker-count request against a task
+// count exactly as the pool does, so callers can pre-size per-worker
+// state (scratch buffers, output shards) to the pool that will run.
+func resolveWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runTasksWorker is runTasks with worker identity: fn(w, i) runs task i
+// on worker w, with w in [0, resolveWorkers(n, workers)). Workers own
+// their id for their whole lifetime, so per-worker scratch buffers are
+// data-race-free by construction.
+func runTasksWorker(n, workers int, fn func(worker, i int)) {
+	workers = resolveWorkers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -30,16 +55,16 @@ func runTasks(n, workers int, fn func(i int)) {
 	next.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -710,3 +710,73 @@ func TestNewEnvParallelDeterministic(t *testing.T) {
 		t.Error("parallel collection is not deterministic")
 	}
 }
+
+// TestExpTable2WorkersBitIdentical pins the parallel-plane contract at
+// the experiment level: the Table 2 study is bit-identical for every
+// worker count on both engines, because antennas and day cells draw
+// from keyed substreams and fold in index order.
+func TestExpTable2WorkersBitIdentical(t *testing.T) {
+	env := sharedEnv(t)
+	for _, engine := range []core.Engine{core.GenV2, core.GenV1} {
+		base := SlicingConfig{Antennas: 4, Days: 2, Seed: 3, Engine: engine}
+		cfg1 := base
+		cfg1.Workers = 1
+		ref, err := ExpTable2(env, cfg1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg4 := base
+		cfg4.Workers = 4
+		got, err := ExpTable2(env, cfg4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Strategies) != len(got.Strategies) {
+			t.Fatalf("%s: strategy counts differ", engine)
+		}
+		for i := range ref.Strategies {
+			if ref.Strategies[i] != got.Strategies[i] {
+				t.Errorf("%s: strategy %q differs between 1 and 4 workers:\n  %+v\n  %+v",
+					engine, ref.Strategies[i].Name, ref.Strategies[i], got.Strategies[i])
+			}
+		}
+	}
+}
+
+// TestExpFig13WorkersBitIdentical does the same for the vRAN study's
+// parallel strategy-series builds.
+func TestExpFig13WorkersBitIdentical(t *testing.T) {
+	env := sharedEnv(t)
+	base := VRANConfig{ESs: 4, RUsPerES: 5, Hours: 1, Seed: 7}
+	cfg1 := base
+	cfg1.Workers = 1
+	ref, err := ExpFig13(env, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg3 := base
+	cfg3.Workers = 3
+	got, err := ExpFig13(env, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Strategies) != len(got.Strategies) {
+		t.Fatal("strategy counts differ")
+	}
+	for i := range ref.Strategies {
+		if ref.Strategies[i] != got.Strategies[i] {
+			t.Errorf("strategy %q differs between 1 and 3 workers", ref.Strategies[i].Name)
+		}
+	}
+	for _, key := range []string{"model", "bm_c"} {
+		a, b := ref.PowerSeries[key], got.PowerSeries[key]
+		if len(a) != len(b) {
+			t.Fatalf("power series %q lengths differ", key)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("power series %q differs at %d", key, i)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"mobiletraffic/internal/core"
 	"mobiletraffic/internal/littrafgen"
@@ -25,6 +26,10 @@ type SlicingConfig struct {
 	// Engine selects the generation engine for the model and category
 	// reference traces; empty selects the default (core.GenV2).
 	Engine core.Engine
+	// Workers bounds the per-antenna worker pool (<= 0 uses every CPU).
+	// Results are bit-identical for every worker count: each antenna's
+	// streams are keyed by the antenna, not by execution order.
+	Workers int
 }
 
 func (c SlicingConfig) withDefaults() SlicingConfig {
@@ -143,11 +148,13 @@ func dayWeightTable() []float64 {
 }
 
 // buildModelDemand generates a reference trace from the fitted models
-// with the antenna's own fitted arrival process. Sessions are drawn by
-// index (no name round-trips), buffered per minute and added to the
-// trace in batches; engine GenV1 replays the historical math/rand
-// streams draw for draw, GenV2 runs everything on PCG streams.
-func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, catalogIdx, modelIdx []int, seed int64, engine core.Engine) (*slicing.DemandTrace, error) {
+// with the antenna's own fitted arrival process. Engine GenV1 replays
+// the historical math/rand streams draw for draw on the serial path;
+// GenV2 runs on the parallel campaign plane — day cells keyed by
+// (key, day) generate concurrently on up to workers goroutines and
+// fold into the trace in day order, so the trace depends only on
+// (seed, key), never on the schedule.
+func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, catalogIdx, modelIdx []int, seed int64, engine core.Engine, key uint64, workers int) (*slicing.DemandTrace, error) {
 	trace, err := slicing.NewDemandTrace(numServices, days*24*60)
 	if err != nil {
 		return nil, err
@@ -164,29 +171,42 @@ func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, c
 	for k, mi := range modelIdx {
 		toCatalogIdx[mi] = catalogIdx[k]
 	}
-	v1 := gen.Engine == core.GenV1
+	if gen.Engine != core.GenV1 {
+		blocks, err := gen.GenerateCampaign(core.CampaignSpec{
+			Arrivals: []*core.ArrivalModel{arr},
+			Keys:     []uint64{key},
+			Days:     days,
+			Workers:  workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for d := range blocks {
+			blk := &blocks[d]
+			origin := float64(d) * 86400
+			for i := 0; i < blk.Sessions(); i++ {
+				ci := toCatalogIdx[blk.Svc[i]]
+				if ci < 0 {
+					continue
+				}
+				_ = trace.AddSession(slicing.SessionSpec{
+					Service:  ci,
+					Start:    origin + blk.Start[i],
+					Duration: blk.Duration[i],
+					Volume:   blk.Volume[i],
+				})
+			}
+		}
+		return trace, nil
+	}
 	rng := rand.New(rand.NewSource(seed ^ 0x51c1))
-	var pcg mathx.PCG
-	pcg.SeedStream(uint64(seed^0x51c1), 0xb11d, 1)
-	uniform := func() float64 {
-		if v1 {
-			return rng.Float64()
-		}
-		return pcg.Float64()
-	}
-	count := func(peak bool) int {
-		if v1 {
-			return arr.SampleCount(peak, rng)
-		}
-		return arr.SampleCountFast(peak, &pcg)
-	}
 	dayW := dayWeightTable()
 	specs := make([]slicing.SessionSpec, 0, 64)
 	for m := 0; m < days*24*60; m++ {
 		// Transition-aware phase choice: shoulder minutes mix day and
 		// night modes exactly as the measured arrival process does.
-		peak := uniform() < dayW[m%(24*60)]
-		n := count(peak)
+		peak := rng.Float64() < dayW[m%(24*60)]
+		n := arr.SampleCount(peak, rng)
 		specs = specs[:0]
 		for k := 0; k < n; k++ {
 			idx := gen.PickServiceIndex()
@@ -200,7 +220,7 @@ func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, c
 			}
 			specs = append(specs, slicing.SessionSpec{
 				Service:  ci,
-				Start:    float64(m)*60 + uniform()*60,
+				Start:    float64(m)*60 + rng.Float64()*60,
 				Duration: s.Duration,
 				Volume:   s.Volume,
 			})
@@ -210,41 +230,78 @@ func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, c
 	return trace, nil
 }
 
+// catPhaseDomain salts the experiments-local phase/count/start PCG of
+// the parallel category-demand builder, keeping it disjoint from the
+// benchmark generator's own substream family under the same seed.
+const catPhaseDomain uint64 = 0xEC5E_CA7E_70A5E4D1
+
 // buildCategoryDemand generates a 3-row category trace from the
-// literature models with the same arrival process.
-func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.NumCategories]float64, seed int64, engine core.Engine) (*slicing.DemandTrace, error) {
+// literature models with the same arrival process. GenV1 replays the
+// historical serial streams; GenV2 decomposes into per-day cells —
+// sessions from littrafgen substreams keyed (key, day), phase/count/
+// start draws from a salted sibling PCG of the same keying — generated
+// concurrently into per-day buffers and folded in day order, so the
+// trace depends only on (seed, key).
+func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.NumCategories]float64, seed int64, engine core.Engine, key uint64, workers int) (*slicing.DemandTrace, error) {
 	trace, err := slicing.NewDemandTrace(littrafgen.NumCategories, days*24*60)
 	if err != nil {
 		return nil, err
 	}
 	gen := littrafgen.NewGeneratorEngine(shares, seed, engine)
-	v1 := gen.Engine == core.GenV1
+	if gen.Engine != core.GenV1 {
+		perDay := make([][]slicing.SessionSpec, days)
+		var firstErr error
+		var errMu sync.Mutex
+		dayW := dayWeightTable()
+		core.RunTasks(days, workers, func(d int) {
+			sub, err := gen.Substream(key, uint64(d))
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			var pcg mathx.PCG
+			pcg.SeedStream(uint64(seed)^catPhaseDomain, key, uint64(d))
+			var specs []slicing.SessionSpec
+			for m := 0; m < 24*60; m++ {
+				gm := d*24*60 + m
+				peak := pcg.Float64() < dayW[m]
+				n := arr.SampleCountFast(peak, &pcg)
+				for k := 0; k < n; k++ {
+					s := sub.Sample()
+					specs = append(specs, slicing.SessionSpec{
+						Service:  int(s.Category),
+						Start:    float64(gm)*60 + pcg.Float64()*60,
+						Duration: s.Duration,
+						Volume:   s.Volume,
+					})
+				}
+			}
+			perDay[d] = specs
+		})
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		for _, specs := range perDay {
+			_ = trace.AddSessions(specs)
+		}
+		return trace, nil
+	}
 	rng := rand.New(rand.NewSource(seed ^ 0xca7e))
-	var pcg mathx.PCG
-	pcg.SeedStream(uint64(seed^0xca7e), 0xca7e, 1)
-	uniform := func() float64 {
-		if v1 {
-			return rng.Float64()
-		}
-		return pcg.Float64()
-	}
-	count := func(peak bool) int {
-		if v1 {
-			return arr.SampleCount(peak, rng)
-		}
-		return arr.SampleCountFast(peak, &pcg)
-	}
 	dayW := dayWeightTable()
 	specs := make([]slicing.SessionSpec, 0, 64)
 	for m := 0; m < days*24*60; m++ {
-		peak := uniform() < dayW[m%(24*60)]
-		n := count(peak)
+		peak := rng.Float64() < dayW[m%(24*60)]
+		n := arr.SampleCount(peak, rng)
 		specs = specs[:0]
 		for k := 0; k < n; k++ {
 			s := gen.Sample()
 			specs = append(specs, slicing.SessionSpec{
 				Service:  int(s.Category),
-				Start:    float64(m)*60 + uniform()*60,
+				Start:    float64(m)*60 + rng.Float64()*60,
 				Duration: s.Duration,
 				Volume:   s.Volume,
 			})
@@ -284,23 +341,36 @@ func ExpTable2(env *Env, cfg SlicingConfig) (*Table2Result, error) {
 	if refDays < 4 {
 		refDays = 4
 	}
-	for _, a := range study {
+	// Antennas are independent studies — per-antenna seeds and stream
+	// keys, read-only env — so they fan out on the shared worker pool
+	// into per-index slots and fold in antenna order below, keeping the
+	// result bit-identical for every worker count (both engines: the v1
+	// streams are per-antenna math/rand sources, the v2 streams are
+	// keyed substream families).
+	perAntenna := make([]map[string][]slicing.SLAResult, len(study))
+	antErrs := make([]error, len(study))
+	core.RunTasks(len(study), c.Workers, func(ai int) {
+		a := study[ai]
 		real, err := buildRealDemand(env, a, c.Days, numServices)
 		if err != nil {
-			return nil, err
+			antErrs[ai] = err
+			return
 		}
 		arr, err := antennaArrivals(env, a)
 		if err != nil {
-			return nil, err
+			antErrs[ai] = err
+			return
 		}
 		// Strategy 1: session-level model allocation.
-		modelRef, err := buildModelDemand(env, arr, refDays, numServices, catalogIdx, modelIdx, c.Seed+int64(a), c.Engine)
+		modelRef, err := buildModelDemand(env, arr, refDays, numServices, catalogIdx, modelIdx, c.Seed+int64(a), c.Engine, uint64(a), 1)
 		if err != nil {
-			return nil, err
+			antErrs[ai] = err
+			return
 		}
 		allocModel, err := slicing.AllocatePercentile(modelRef, 0.95, peak)
 		if err != nil {
-			return nil, err
+			antErrs[ai] = err
+			return
 		}
 		// Strategies 2-3: category benchmarks.
 		allocs := map[string]slicing.Allocation{"session-level models": allocModel}
@@ -311,25 +381,40 @@ func ExpTable2(env *Env, cfg SlicingConfig) (*Table2Result, error) {
 			{"bm_a", littrafgen.BMAShares()},
 			{"bm_b", littrafgen.BMBShares()},
 		} {
-			catRef, err := buildCategoryDemand(arr, refDays, bm.shares, c.Seed+int64(a)*7+31, c.Engine)
+			catRef, err := buildCategoryDemand(arr, refDays, bm.shares, c.Seed+int64(a)*7+31, c.Engine, uint64(a), 1)
 			if err != nil {
-				return nil, err
+				antErrs[ai] = err
+				return
 			}
 			alloc, err := slicing.AllocateCategoryUniform(catRef, membership, 0.95, peak)
 			if err != nil {
-				return nil, err
+				antErrs[ai] = err
+				return
 			}
 			allocs[bm.name] = alloc
 		}
+		mine := make(map[string][]slicing.SLAResult, len(allocs))
 		for name, alloc := range allocs {
 			res, err := slicing.Evaluate(real, alloc, peak)
 			if err != nil {
-				return nil, err
+				antErrs[ai] = err
+				return
 			}
 			// Keep only modeled services (the 28 SPs analogue).
 			for _, ci := range catalogIdx {
-				perStrategy[name] = append(perStrategy[name], res[ci])
+				mine[name] = append(mine[name], res[ci])
 			}
+		}
+		perAntenna[ai] = mine
+	})
+	for ai, err := range antErrs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: antenna %d: %w", study[ai], err)
+		}
+	}
+	for _, mine := range perAntenna {
+		for name, rs := range mine {
+			perStrategy[name] = append(perStrategy[name], rs...)
 		}
 	}
 	out := &Table2Result{}
@@ -381,7 +466,7 @@ func ExpFig12(env *Env, cfg SlicingConfig) (*Fig12Result, error) {
 	if refDays < 4 {
 		refDays = 4
 	}
-	ref, err := buildModelDemand(env, arr, refDays, len(env.Catalog), catalogIdx, modelIdx, c.Seed+99, c.Engine)
+	ref, err := buildModelDemand(env, arr, refDays, len(env.Catalog), catalogIdx, modelIdx, c.Seed+99, c.Engine, uint64(antenna), c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -447,6 +532,10 @@ type VRANConfig struct {
 	// Engine selects the generation engine for the strategy session
 	// factories; empty selects the default (core.GenV2).
 	Engine core.Engine
+	// Workers bounds the strategy-series worker pool (<= 0 uses every
+	// CPU); each strategy owns its generators and seed, so the result
+	// is bit-identical for every worker count.
+	Workers int
 }
 
 func (c VRANConfig) withDefaults() VRANConfig {
@@ -670,10 +759,20 @@ func ExpFig13(env *Env, cfg VRANConfig) (*Fig13Result, error) {
 		{"bm_c", litFactory(bmC)},
 	}
 
-	for si, strat := range strategies {
+	// The four strategy series are independent — each owns its factory's
+	// generators and its own per-strategy seeded rand source, and reads
+	// only the shared arrival realization — so they build and evaluate
+	// concurrently into per-strategy slots, appended in strategy order
+	// below: bit-identical to the serial loop for every worker count.
+	stratResults := make([]VRANStrategy, len(strategies))
+	stratPower := make([][]float64, len(strategies))
+	stratErrs := make([]error, len(strategies))
+	core.RunTasks(len(strategies), c.Workers, func(si int) {
+		strat := strategies[si]
 		series, err := vran.NewThroughputSeries(c.ESs, slots)
 		if err != nil {
-			return nil, err
+			stratErrs[si] = err
+			return
 		}
 		srng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(si)))
 		for r := 0; r < rus; r++ {
@@ -682,35 +781,50 @@ func ExpFig13(env *Env, cfg VRANConfig) (*Fig13Result, error) {
 					vol, dur := strat.f(k, srng)
 					start := float64(m)*60 + srng.Float64()*60
 					if err := series.AddSession(duOf(r), start, dur, vol); err != nil {
-						return nil, err
+						stratErrs[si] = err
+						return
 					}
 				}
 			}
 		}
 		run, err := vran.Run(ps, series)
 		if err != nil {
-			return nil, err
+			stratErrs[si] = err
+			return
 		}
 		activeAPE, err := vran.APESeries(run.ActivePS, realRun.ActivePS)
 		if err != nil {
-			return nil, err
+			stratErrs[si] = err
+			return
 		}
 		powerAPE, err := vran.APESeries(run.PowerW, realRun.PowerW)
 		if err != nil {
-			return nil, err
+			stratErrs[si] = err
+			return
 		}
-		out.Strategies = append(out.Strategies, VRANStrategy{
+		stratResults[si] = VRANStrategy{
 			Name:       strat.name,
 			ActiveAPE:  vran.SummarizeAPE(activeAPE),
 			PowerAPE:   vran.SummarizeAPE(powerAPE),
 			MeanActive: run.MeanActive(),
 			MeanPowerW: run.MeanPower(),
-		})
+		}
+		if strat.name == "session-level models" || strat.name == "bm_c" {
+			stratPower[si] = downsampleMean(run.PowerW, 60)
+		}
+	})
+	for si, err := range stratErrs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: strategy %s: %w", strategies[si].name, err)
+		}
+	}
+	for si, strat := range strategies {
+		out.Strategies = append(out.Strategies, stratResults[si])
 		if strat.name == "session-level models" {
-			out.PowerSeries["model"] = downsampleMean(run.PowerW, 60)
+			out.PowerSeries["model"] = stratPower[si]
 		}
 		if strat.name == "bm_c" {
-			out.PowerSeries["bm_c"] = downsampleMean(run.PowerW, 60)
+			out.PowerSeries["bm_c"] = stratPower[si]
 		}
 	}
 	return out, nil

@@ -168,6 +168,8 @@ type Generator struct {
 	Engine      core.Engine
 	rng         *rand.Rand
 	pcg         mathx.PCG
+	// seed is the master seed, kept for deriving substreams.
+	seed uint64
 	// Per-category log-normal constants folded into natural log so a
 	// v2 draw is one Gaussian variate and one math.Exp per marginal.
 	volMuLn, volSigLn [NumCategories]float64
@@ -186,7 +188,7 @@ func NewGeneratorEngine(shares [NumCategories]float64, seed int64, engine core.E
 	if engine == "" {
 		engine = core.GenV2
 	}
-	g := &Generator{Shares: shares, Models: Models(), Engine: engine}
+	g := &Generator{Shares: shares, Models: Models(), Engine: engine, seed: uint64(seed)}
 	if engine == core.GenV1 {
 		g.rng = rand.New(rand.NewSource(seed))
 		return g
@@ -199,6 +201,38 @@ func NewGeneratorEngine(shares [NumCategories]float64, seed int64, engine core.E
 		g.durSigLn[c] = g.Models[c].DurSigma * math.Ln10
 	}
 	return g
+}
+
+// benchmarkDomain salts the benchmark generator's substream family so
+// its (a, b) cells can never coincide with the core generation plane's
+// campaign or client substreams, nor with the measurement sampler's
+// unsalted netsim substreams, under a shared master seed (see DESIGN.md
+// "Generation engine streams").
+const benchmarkDomain uint64 = 0xBE4C_6D67_656E03BD
+
+// Substream returns an independent benchmark generator on the (a, b)
+// cell of this generator's stream family — same shares, models, scales
+// and engine, its own PCG seeded SeedStream(master^benchmarkDomain, a,
+// b). Cells are pure functions of (master seed, a, b), so parallel
+// benchmark generation keyed by (BS, day) is deterministic under any
+// schedule. Substreams are a v2 feature; v1 generators return an error.
+func (g *Generator) Substream(a, b uint64) (*Generator, error) {
+	if g.Engine != core.GenV2 {
+		return nil, fmt.Errorf("littrafgen: substreams need engine v2 (v1 preserves the historical single stream)")
+	}
+	sub := &Generator{
+		Shares:      g.Shares,
+		Models:      g.Models,
+		VolumeScale: g.VolumeScale,
+		Engine:      g.Engine,
+		seed:        g.seed,
+		volMuLn:     g.volMuLn,
+		volSigLn:    g.volSigLn,
+		durMuLn:     g.durMuLn,
+		durSigLn:    g.durSigLn,
+	}
+	sub.pcg.SeedStream(g.seed^benchmarkDomain, a, b)
+	return sub, nil
 }
 
 // Sample draws one session.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"mobiletraffic/internal/core"
 	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/services"
 )
@@ -160,5 +161,54 @@ func TestGeneratorNormalizePerCategory(t *testing.T) {
 	got := sum / n
 	if math.Abs(got-want[IW])/want[IW] > 0.05 {
 		t.Errorf("per-category normalized mean = %v, want %v", got, want[IW])
+	}
+}
+
+// TestSubstreamDeterministic pins the benchmark substream contract:
+// cells are pure functions of (master seed, a, b) — creation order and
+// sibling draws never change a cell — scales carry over, the parent
+// stream is untouched, and v1 generators are rejected.
+func TestSubstreamDeterministic(t *testing.T) {
+	g := NewGenerator(BMAShares(), 321)
+	g.NormalizeTotal(5e6)
+
+	s1, err := g.Substream(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]Session, 8)
+	for i := range ref {
+		ref[i] = s1.Sample()
+	}
+
+	// Re-derive after interleaving draws on a sibling cell.
+	sib, err := g.Substream(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := g.Substream(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		sib.Sample()
+		if got := s2.Sample(); got != ref[i] {
+			t.Fatalf("substream (2,9) draw %d changed under interleaving: %+v vs %+v", i, got, ref[i])
+		}
+	}
+	if s2.VolumeScale != g.VolumeScale {
+		t.Error("substream did not inherit volume scales")
+	}
+
+	// Parent stream unaffected by substream derivation.
+	fresh := NewGenerator(BMAShares(), 321)
+	fresh.NormalizeTotal(5e6)
+	if a, b := g.Sample(), fresh.Sample(); a != b {
+		t.Errorf("parent stream perturbed by substream derivation: %+v vs %+v", a, b)
+	}
+
+	v1 := NewGeneratorEngine(BMAShares(), 321, core.GenV1)
+	if _, err := v1.Substream(0, 0); err == nil {
+		t.Error("Substream on a v1 generator did not error")
 	}
 }

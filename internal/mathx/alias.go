@@ -89,6 +89,32 @@ func (t *AliasTable) Column(i int) (prob float64, alias int) {
 	return t.prob[i], int(t.alias[i])
 }
 
+// PickBatch maps each uniform variate in us to its category index,
+// writing out[k] for us[k]. It is the batched, branch-light form of
+// Pick for the parallel generation plane: the column select and the
+// coin compare are evaluated with a conditional move instead of the
+// scalar method's early return, so the loop body has no
+// data-dependent branches and the table lines stay hot across the
+// whole batch. out must be at least len(us) long. The mapping is
+// identical to calling Pick on each element.
+func (t *AliasTable) PickBatch(us []float64, out []int32) {
+	n := len(t.prob)
+	fn := float64(n)
+	_ = out[:len(us)]
+	for k, u := range us {
+		s := u * fn
+		i := int(s)
+		if i >= n { // u at (or rounded to) 1
+			i = n - 1
+		}
+		idx := int32(i)
+		if s-float64(i) >= t.prob[i] {
+			idx = t.alias[i]
+		}
+		out[k] = idx
+	}
+}
+
 // Pick maps a uniform variate u in [0, 1) to a category index: the
 // integer part of u·n selects the column, the fractional part is the
 // coin tossed against the column's threshold. One multiply, one

@@ -1,0 +1,158 @@
+package mathx_test
+
+// Contract tests for the batch draw kernels of the parallel generation
+// plane: the fill-N samplers and the batched alias pick must (a) consume
+// the stream draw-for-draw identically to their scalar forms, (b) stay
+// allocation-free on reused buffers, and (c) produce the same marginal
+// distributions as scalar draws from an independent stream (the KS/chi2
+// statistical-equivalence guard of ISSUE 8). The tests live in an
+// external package so they can use internal/dist, which itself imports
+// mathx.
+
+import (
+	"testing"
+
+	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/mathx"
+)
+
+// TestFillKernelsMatchScalar pins the draw-for-draw contract: a batch
+// fill must consume exactly the stream a scalar loop would, leaving the
+// generator in the same state, for every kernel and odd batch length.
+func TestFillKernelsMatchScalar(t *testing.T) {
+	kernels := []struct {
+		name   string
+		batch  func(p *mathx.PCG, dst []float64)
+		scalar func(p *mathx.PCG) float64
+	}{
+		{"uniform", (*mathx.PCG).FillFloat64, (*mathx.PCG).Float64},
+		{"normal", (*mathx.PCG).FillNorm, (*mathx.PCG).NormFloat64},
+		{"exponential", (*mathx.PCG).FillExp, (*mathx.PCG).ExpFloat64},
+	}
+	for _, k := range kernels {
+		var pa, pb mathx.PCG
+		pa.SeedStream(42, 3, 7)
+		pb.SeedStream(42, 3, 7)
+		for _, n := range []int{0, 1, 3, 17, 257} {
+			dst := make([]float64, n)
+			k.batch(&pa, dst)
+			for i := 0; i < n; i++ {
+				want := k.scalar(&pb)
+				if dst[i] != want {
+					t.Fatalf("%s: batch[%d] = %v, scalar = %v (n=%d)", k.name, i, dst[i], want, n)
+				}
+			}
+		}
+		// The generators must agree on the next draw after all batches.
+		if a, b := pa.Uint64(), pb.Uint64(); a != b {
+			t.Errorf("%s: stream state diverged after batching: %x vs %x", k.name, a, b)
+		}
+	}
+}
+
+// TestPickBatchMatchesScalar checks the batched alias pick maps every
+// uniform exactly as the scalar Pick, including the u -> 1 edge.
+func TestPickBatchMatchesScalar(t *testing.T) {
+	tab, err := mathx.NewAliasTable([]float64{0.5, 0.2, 0.05, 0.25, 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng mathx.PCG
+	rng.SeedStream(7, 1, 2)
+	us := make([]float64, 4096)
+	rng.FillFloat64(us)
+	us[0] = 0
+	us[1] = 0.999999999999
+	us[2] = 1 - 1e-16 // rounds to 1.0 in float64
+	out := make([]int32, len(us))
+	tab.PickBatch(us, out)
+	for i, u := range us {
+		if want := tab.Pick(u); int(out[i]) != want {
+			t.Fatalf("PickBatch[%d] (u=%v) = %d, scalar Pick = %d", i, u, out[i], want)
+		}
+	}
+	tab.PickBatch(nil, nil) // empty batch is a no-op, not a panic
+}
+
+// TestGenBatchKernelAllocs pins every batch kernel at zero heap
+// allocations on reused buffers — the property the worker-pool
+// campaign's per-worker scratch relies on.
+func TestGenBatchKernelAllocs(t *testing.T) {
+	tab, err := mathx.NewAliasTable([]float64{3, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rng mathx.PCG
+	rng.SeedStream(9, 0, 0)
+	us := make([]float64, 1024)
+	zs := make([]float64, 1024)
+	es := make([]float64, 1024)
+	picks := make([]int32, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		rng.FillFloat64(us)
+		rng.FillNorm(zs)
+		rng.FillExp(es)
+		tab.PickBatch(us, picks)
+	})
+	if allocs != 0 {
+		t.Errorf("batch kernels allocate %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestBatchDrawStatEquivalence is the distributional guard: batched
+// draws from one stream and scalar draws from an independent stream
+// must agree on the normal and exponential marginals (two-sample KS)
+// and on the alias-pick category counts (chi-square homogeneity). Both
+// streams are fixed-seed, so the p-values are deterministic.
+func TestBatchDrawStatEquivalence(t *testing.T) {
+	const n = 60000
+	var pb, ps mathx.PCG
+	pb.SeedStream(1001, 4, 9)
+	ps.SeedStream(2002, 5, 11)
+
+	batchNorm := make([]float64, n)
+	pb.FillNorm(batchNorm)
+	scalarNorm := make([]float64, n)
+	for i := range scalarNorm {
+		scalarNorm[i] = ps.NormFloat64()
+	}
+	if d, p, err := dist.KSTwoSample(batchNorm, scalarNorm); err != nil {
+		t.Fatal(err)
+	} else if p < 1e-3 {
+		t.Errorf("batched vs scalar normal marginals differ: D=%.4f p=%.2e", d, p)
+	}
+
+	batchExp := make([]float64, n)
+	pb.FillExp(batchExp)
+	scalarExp := make([]float64, n)
+	for i := range scalarExp {
+		scalarExp[i] = ps.ExpFloat64()
+	}
+	if d, p, err := dist.KSTwoSample(batchExp, scalarExp); err != nil {
+		t.Fatal(err)
+	} else if p < 1e-3 {
+		t.Errorf("batched vs scalar exponential marginals differ: D=%.4f p=%.2e", d, p)
+	}
+
+	tab, err := mathx.NewAliasTable([]float64{0.45, 0.3, 0.15, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	us := make([]float64, n)
+	pb.FillFloat64(us)
+	picks := make([]int32, n)
+	tab.PickBatch(us, picks)
+	batchCounts := make([]float64, tab.Len())
+	for _, c := range picks {
+		batchCounts[c]++
+	}
+	scalarCounts := make([]float64, tab.Len())
+	for i := 0; i < n; i++ {
+		scalarCounts[tab.Pick(ps.Float64())]++
+	}
+	if stat, df, p, err := dist.Chi2Homogeneity(batchCounts, scalarCounts); err != nil {
+		t.Fatal(err)
+	} else if p < 1e-3 {
+		t.Errorf("batched vs scalar alias picks differ: chi2=%.1f df=%d p=%.2e", stat, df, p)
+	}
+}

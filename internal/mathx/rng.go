@@ -169,6 +169,47 @@ func (p *PCG) NormFloat64() float64 {
 	}
 }
 
+// Batch draw kernels: fill-N forms of the scalar samplers used by the
+// parallel generation plane (see DESIGN.md "Generation engine
+// streams"). Each kernel copies the 16-byte generator into a local,
+// loops with that state register-resident, and writes it back once —
+// amortizing the pointer load/store of the scalar methods over the
+// whole batch and keeping the loop bodies straight-line so the
+// compiler (or a future assembly kernel) can vectorize them. Every
+// kernel consumes the stream draw-for-draw identically to len(dst)
+// scalar calls (TestFillKernelsMatchScalar), so batched and scalar
+// code paths can share one stream definition.
+
+// FillFloat64 fills dst with uniform [0, 1) variates, identical to
+// len(dst) sequential Float64 calls.
+func (p *PCG) FillFloat64(dst []float64) {
+	local := *p
+	for i := range dst {
+		dst[i] = local.Float64()
+	}
+	*p = local
+}
+
+// FillNorm fills dst with standard normal variates, identical to
+// len(dst) sequential NormFloat64 calls.
+func (p *PCG) FillNorm(dst []float64) {
+	local := *p
+	for i := range dst {
+		dst[i] = local.NormFloat64()
+	}
+	*p = local
+}
+
+// FillExp fills dst with Exp(1) variates, identical to len(dst)
+// sequential ExpFloat64 calls.
+func (p *PCG) FillExp(dst []float64) {
+	local := *p
+	for i := range dst {
+		dst[i] = local.ExpFloat64()
+	}
+	*p = local
+}
+
 // ExpFloat64 returns an Exp(1) variate via the ziggurat method.
 func (p *PCG) ExpFloat64() float64 {
 	for {

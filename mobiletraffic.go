@@ -69,6 +69,14 @@ type (
 	// replays the historical math/rand stream byte for byte, GenV2 is
 	// the fast table-driven default.
 	GenEngine = core.Engine
+	// CampaignSpec describes a parallel generation campaign: a grid of
+	// (BS, day) cells, each drawing from its own keyed substream, so
+	// Generator.GenerateCampaign output is bit-identical for every
+	// worker count (GenV2 only).
+	CampaignSpec = core.CampaignSpec
+	// DayBlock is one (BS, day) cell of campaign output in columnar
+	// layout with a CSR per-minute index.
+	DayBlock = core.DayBlock
 	// ServiceProfile is a ground-truth service description used by the
 	// bundled measurement simulator.
 	ServiceProfile = services.Profile
