@@ -9,6 +9,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -184,6 +185,15 @@ func benchmarkGenerateCampaign(b *testing.B, workers int) {
 	b.ReportMetric(float64(sessions), "sessions/op")
 }
 
+// skipIfSingleCPU skips benchmarks whose headline is multi-worker
+// scaling: on a GOMAXPROCS=1 box they measure scheduling overhead
+// only, and their numbers would pollute the benchstat trend.
+func skipIfSingleCPU(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Skip("multi-worker benchmark needs GOMAXPROCS > 1")
+	}
+}
+
 // BenchmarkGenerateCampaign is the single-worker baseline of the
 // parallel plane (the cost of the batched cell kernel itself).
 func BenchmarkGenerateCampaign(b *testing.B) { benchmarkGenerateCampaign(b, 1) }
@@ -191,7 +201,53 @@ func BenchmarkGenerateCampaign(b *testing.B) { benchmarkGenerateCampaign(b, 1) }
 // BenchmarkGenerateCampaign4 runs the same campaign on 4 workers; on a
 // multi-core box the acceptance bar for the plane is >= 2x wall-clock
 // over the single-worker baseline (BENCH_pr8.json records both).
-func BenchmarkGenerateCampaign4(b *testing.B) { benchmarkGenerateCampaign(b, 4) }
+func BenchmarkGenerateCampaign4(b *testing.B) {
+	skipIfSingleCPU(b)
+	benchmarkGenerateCampaign(b, 4)
+}
+
+// benchmarkGenerateCampaignFold runs the same campaign through the
+// zero-materialization fold: identical blocks, O(workers) of them live
+// at once, storage recycled through the freelist. Against
+// BenchmarkGenerateCampaign the pair exposes the B/op the fold gives
+// back (the whole campaign's blocks) at equal-or-better wall clock.
+func benchmarkGenerateCampaignFold(b *testing.B, workers int) {
+	env := benchEnvironment(b)
+	gen, err := core.NewGenerator(env.Models, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := core.CampaignSpec{Arrivals: env.Arrivals, Days: 7, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sessions int
+	for i := 0; i < b.N; i++ {
+		sessions = 0
+		err := gen.GenerateCampaignFold(spec, func(blk *core.DayBlock) error {
+			sessions += blk.Sessions()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sessions == 0 {
+			b.Fatal("campaign generated no sessions")
+		}
+	}
+	b.ReportMetric(float64(sessions), "sessions/op")
+}
+
+// BenchmarkGenerateCampaignFold is the serial fold baseline: one
+// recycled block for the whole campaign.
+func BenchmarkGenerateCampaignFold(b *testing.B) { benchmarkGenerateCampaignFold(b, 1) }
+
+// BenchmarkGenerateCampaignFold4 folds on 4 workers: the in-order
+// visit serializes consumption, so this measures how well production
+// overlaps the fold under the bounded window.
+func BenchmarkGenerateCampaignFold4(b *testing.B) {
+	skipIfSingleCPU(b)
+	benchmarkGenerateCampaignFold(b, 4)
+}
 
 // benchGenBatch times one batch kernel against 1024-element buffers.
 func benchGenBatch(b *testing.B, fill func(p *mathx.PCG, dst []float64)) {

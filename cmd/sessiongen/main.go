@@ -120,26 +120,25 @@ func main() {
 		// start times come from the sampled within-minute offsets, and
 		// the day/night mode is drawn against the diurnal phase profile
 		// (the transition-aware choice of the experiment drivers) rather
-		// than the serial path's hard day/night switch.
+		// than the serial path's hard day/night switch. The fold hands
+		// each day block to the writer as it completes and recycles its
+		// backing arrays for a later day, so an arbitrarily long run
+		// keeps O(workers) days in memory and allocates nothing per day
+		// in steady state (TestGenerateCampaignFoldSteadyStateAllocs).
 		pw := *workers
 		if pw < 0 {
 			pw = 0 // CampaignSpec: <= 0 means all CPUs
 		}
 		days := (*minutes + 24*60 - 1) / (24 * 60)
-		blocks, err := gen.GenerateCampaign(mobiletraffic.CampaignSpec{
+		err := gen.GenerateCampaignFold(mobiletraffic.CampaignSpec{
 			Arrivals:    []*mobiletraffic.ArrivalModel{set.Arrivals[*class]},
 			Keys:        []uint64{uint64(*class)},
 			Days:        days,
 			StartMinute: *startMin,
 			Workers:     pw,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		for d := range blocks {
-			blk := &blocks[d]
+		}, func(blk *mobiletraffic.DayBlock) error {
 			for m := 0; m < 24*60; m++ {
-				gm := d*24*60 + m
+				gm := blk.Day*24*60 + m
 				if gm >= *minutes {
 					break
 				}
@@ -147,18 +146,22 @@ func main() {
 				lo, hi := blk.MinuteRange(m)
 				for i := lo; i < hi; i++ {
 					err := w.Write(trace.Record{
-						TimeS:      float64(d)*86400 + blk.Start[i],
+						TimeS:      float64(blk.Day)*86400 + blk.Start[i],
 						Service:    set.Services[blk.Svc[i]].Name,
 						Bytes:      blk.Volume[i],
 						DurationS:  blk.Duration[i],
 						Throughput: blk.Volume[i] / blk.Duration[i],
 					})
 					if err != nil {
-						fatal(err)
+						return err
 					}
 				}
 				progress.Done(gm)
 			}
+			return nil
+		})
+		if err != nil {
+			fatal(err)
 		}
 	} else {
 		sessionsCtr := obs.CounterOf("gen_sessions_total")

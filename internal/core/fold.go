@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Ordered fold over the shared worker pool: produce tasks concurrently,
+// consume their results strictly in task-index order, and recycle the
+// result slots so a campaign of N cells keeps O(workers) cells live
+// instead of materializing all N. This is the substrate of
+// Generator.GenerateCampaignFold and the experiments' demand builders
+// (see DESIGN.md "Lane-split kernels and LCG jump-ahead" — fold-order
+// determinism).
+//
+// Slots come from an explicit freelist rather than a sync.Pool: a pool
+// may drop buffers between GCs or keep per-P caches, which makes
+// allocation behavior depend on the scheduler and GC timing; the
+// freelist keeps slot reuse a pure function of the fold's own
+// progress, so allocation counts are reproducible run to run.
+
+// foldWindow bounds how far producers may run ahead of the fold, in
+// tasks, as a multiple of the worker count: live slots are capped at
+// roughly (1 + foldWindow) * workers, which keeps memory flat while
+// leaving enough slack that a slow cell rarely stalls the pool.
+const foldWindow = 2
+
+// FoldTasks runs produce(w, i, slot) for every i in [0, n) on up to
+// workers goroutines (the same claim-from-a-counter pool as RunTasks)
+// and calls visit(i, slot) exactly once per task in increasing task
+// order, serially. Slots start as new(T) and are recycled through a
+// freelist after their visit returns, so produce implementations that
+// reuse the slot's backing arrays make the steady state of a long fold
+// allocation-free. The visit order — and therefore any order-dependent
+// accumulation the caller performs — is independent of the worker
+// count and schedule. A non-nil error from visit stops the fold early
+// (producers finish their in-flight task) and is returned.
+func FoldTasks[T any](n, workers int, produce func(worker, i int, slot *T), visit func(i int, slot *T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = resolveWorkers(n, workers)
+	if workers <= 1 {
+		// Serial fold: one slot reused for every task.
+		slot := new(T)
+		for i := 0; i < n; i++ {
+			produce(0, i, slot)
+			if err := visit(i, slot); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := foldWindow * workers
+	ctl := &foldCtl[T]{
+		ready: make(map[int]*T, window+workers),
+	}
+	ctl.cond = sync.NewCond(&ctl.mu)
+
+	var wg sync.WaitGroup
+	var claim atomic.Int64
+	claim.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(claim.Add(1))
+				if i >= n {
+					return
+				}
+				ctl.mu.Lock()
+				for i >= ctl.next+window && !ctl.stopped {
+					ctl.cond.Wait()
+				}
+				if ctl.stopped {
+					ctl.mu.Unlock()
+					return
+				}
+				slot := ctl.takeSlot()
+				ctl.mu.Unlock()
+
+				produce(w, i, slot)
+
+				ctl.mu.Lock()
+				ctl.ready[i] = slot
+				// Whichever worker publishes the next-needed task
+				// becomes the folder and drains the ready run; the
+				// folding flag keeps visits serial.
+				for !ctl.folding && !ctl.stopped {
+					s, ok := ctl.ready[ctl.next]
+					if !ok {
+						break
+					}
+					delete(ctl.ready, ctl.next)
+					idx := ctl.next
+					ctl.folding = true
+					ctl.mu.Unlock()
+					err := visit(idx, s)
+					ctl.mu.Lock()
+					ctl.folding = false
+					ctl.free = append(ctl.free, s)
+					if err != nil {
+						ctl.err = err
+						ctl.stopped = true
+						break
+					}
+					ctl.next++
+				}
+				ctl.cond.Broadcast()
+				ctl.mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctl.err
+}
+
+// foldCtl is the shared state of one parallel ordered fold.
+type foldCtl[T any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   map[int]*T // produced but not yet visited, by task index
+	free    []*T       // recycled slots
+	next    int        // next task index to visit
+	folding bool       // a worker is inside visit
+	stopped bool       // visit errored: stop claiming and waiting
+	err     error
+}
+
+// takeSlot pops a recycled slot or allocates a fresh one. Caller holds mu.
+func (c *foldCtl[T]) takeSlot() *T {
+	if k := len(c.free); k > 0 {
+		s := c.free[k-1]
+		c.free = c.free[:k-1]
+		return s
+	}
+	return new(T)
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+)
+
+// TestFoldTasksOrderAndReuse pins the ordered-fold contract: visit runs
+// exactly once per task in increasing index order at every worker
+// count, sees the slot its producer filled, and the freelist bounds the
+// number of distinct slots to O(workers) regardless of n.
+func TestFoldTasksOrderAndReuse(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 4, 7} {
+		var visited []int
+		slots := map[*int]bool{}
+		err := FoldTasks(n, workers, func(_, i int, slot *int) {
+			*slot = i * i
+		}, func(i int, slot *int) error {
+			if *slot != i*i {
+				t.Errorf("workers=%d: visit(%d) got slot value %d, want %d", workers, i, *slot, i*i)
+			}
+			visited = append(visited, i)
+			slots[slot] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(visited) != n {
+			t.Fatalf("workers=%d: visited %d tasks, want %d", workers, len(visited), n)
+		}
+		for i, v := range visited {
+			if v != i {
+				t.Fatalf("workers=%d: visit order broken at position %d: got task %d", workers, i, v)
+			}
+		}
+		// Live slots are bounded by the producer window plus the workers
+		// themselves, never by n.
+		if max := (foldWindow+1)*workers + workers; len(slots) > max {
+			t.Errorf("workers=%d: %d distinct slots allocated, want <= %d", workers, len(slots), max)
+		}
+	}
+}
+
+// TestFoldTasksError checks a visit error stops the fold early: the
+// error is returned and no later task is visited.
+func TestFoldTasksError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		var visited []int
+		err := FoldTasks(100, workers, func(_, i int, slot *int) {
+			*slot = i
+		}, func(i int, _ *int) error {
+			visited = append(visited, i)
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if len(visited) != 6 {
+			t.Fatalf("workers=%d: visited %v, want exactly tasks 0..5", workers, visited)
+		}
+		for i, v := range visited {
+			if v != i {
+				t.Fatalf("workers=%d: out-of-order visit %v", workers, visited)
+			}
+		}
+	}
+}
+
+// TestFoldTasksEmpty covers the degenerate sizes.
+func TestFoldTasksEmpty(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		called := false
+		err := FoldTasks(n, 4, func(_, _ int, _ *int) { called = true },
+			func(_ int, _ *int) error { called = true; return nil })
+		if err != nil || called {
+			t.Fatalf("FoldTasks(%d) ran work: err=%v called=%v", n, err, called)
+		}
+	}
+}
+
+func cloneBlock(b *DayBlock) DayBlock {
+	return DayBlock{
+		BS: b.BS, Day: b.Day,
+		Offsets:  append([]int32(nil), b.Offsets...),
+		Svc:      append([]int32(nil), b.Svc...),
+		Volume:   append([]float64(nil), b.Volume...),
+		Duration: append([]float64(nil), b.Duration...),
+		Start:    append([]float64(nil), b.Start...),
+	}
+}
+
+// TestGenerateCampaignFoldMatchesMaterialized is the fold plane's
+// bit-identity contract: the cells handed to visit — in cell order, at
+// every worker count — are exactly the blocks GenerateCampaign
+// materializes, even though their storage is recycled between visits.
+func TestGenerateCampaignFoldMatchesMaterialized(t *testing.T) {
+	set := goldenModelSet()
+	g, err := NewGenerator(set, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.GenerateCampaign(campaignSpecForTest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 7} {
+		spec := campaignSpecForTest(workers)
+		var got []DayBlock
+		err := g.GenerateCampaignFold(spec, func(blk *DayBlock) error {
+			got = append(got, cloneBlock(blk))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := blocksEqual(ref, got); err != nil {
+			t.Errorf("workers=%d: fold output differs from GenerateCampaign: %v", workers, err)
+		}
+	}
+}
+
+// TestGenerateCampaignFoldEarlyStop checks visit errors abort the
+// campaign and surface to the caller.
+func TestGenerateCampaignFoldEarlyStop(t *testing.T) {
+	set := goldenModelSet()
+	g, err := NewGenerator(set, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := errors.New("stop")
+	seen := 0
+	err = g.GenerateCampaignFold(campaignSpecForTest(2), func(blk *DayBlock) error {
+		seen++
+		if seen == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if seen != 2 {
+		t.Fatalf("visited %d cells after stop, want 2", seen)
+	}
+}
+
+// TestGenerateCampaignFoldValidation pins that the fold surface shares
+// the materializing surface's spec and engine gates.
+func TestGenerateCampaignFoldValidation(t *testing.T) {
+	set := goldenModelSet()
+	g, err := NewGenerator(set, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(*DayBlock) error { return nil }
+	if err := g.GenerateCampaignFold(CampaignSpec{}, noop); err == nil {
+		t.Error("empty spec accepted")
+	}
+	v1, err := NewGeneratorEngine(set, 1, GenV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.GenerateCampaignFold(campaignSpecForTest(1), noop); err == nil {
+		t.Error("GenerateCampaignFold on a v1 generator did not error")
+	}
+}
+
+// TestGenerateCampaignFoldSteadyStateAllocs pins the freelist contract
+// the -workers sessiongen path and the demand builders rely on: once
+// the reused block and scratch buffers have grown to the campaign's
+// working set, later days allocate nothing — day cells are generated
+// into recycled storage.
+func TestGenerateCampaignFoldSteadyStateAllocs(t *testing.T) {
+	set := goldenModelSet()
+	g, err := NewGenerator(set, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const days, warm = 30, 12
+	spec := CampaignSpec{
+		Arrivals: set.Arrivals[:1],
+		Days:     days,
+		Workers:  1, // serial fold: one recycled slot, deterministic reuse
+	}
+	var m0, m1 runtime.MemStats
+	err = g.GenerateCampaignFold(spec, func(blk *DayBlock) error {
+		switch blk.Day {
+		case warm:
+			runtime.ReadMemStats(&m0)
+		case days - 1:
+			runtime.ReadMemStats(&m1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m1.Mallocs - m0.Mallocs; got != 0 {
+		t.Errorf("steady-state fold allocated %d objects over %d days, want 0", got, days-1-warm)
+	}
+}

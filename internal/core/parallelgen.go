@@ -126,52 +126,76 @@ func (s *genScratch) grow(n int) {
 	s.svc = make([]int32, n, c)
 }
 
+// campaignParams is the validated, defaulted form of a CampaignSpec.
+type campaignParams struct {
+	minutes int
+	weights []float64
+	cells   int
+	workers int
+}
+
+// validateCampaign checks a spec against the generator's engine and
+// resolves its defaults, shared by the materializing and folding
+// campaign surfaces.
+func (g *Generator) validateCampaign(spec CampaignSpec) (campaignParams, error) {
+	var p campaignParams
+	if g.Engine != GenV2 {
+		return p, errors.New("core: campaign generation needs engine v2 (v1 preserves the historical single stream)")
+	}
+	if len(spec.Arrivals) == 0 {
+		return p, errors.New("core: campaign needs at least one arrival model")
+	}
+	for i, a := range spec.Arrivals {
+		if a == nil {
+			return p, fmt.Errorf("core: campaign arrival model %d is nil", i)
+		}
+	}
+	if spec.Keys != nil && len(spec.Keys) != len(spec.Arrivals) {
+		return p, fmt.Errorf("core: campaign has %d keys for %d arrival models", len(spec.Keys), len(spec.Arrivals))
+	}
+	if spec.Days <= 0 {
+		return p, fmt.Errorf("core: campaign needs days >= 1, got %d", spec.Days)
+	}
+	p.minutes = spec.MinutesPerDay
+	if p.minutes == 0 {
+		p.minutes = 24 * 60
+	}
+	if p.minutes < 0 {
+		return p, fmt.Errorf("core: campaign needs minutes per day >= 0, got %d", p.minutes)
+	}
+	p.weights = spec.PhaseWeights
+	if p.weights == nil {
+		p.weights = phaseWeightTable()
+	}
+	if len(p.weights) == 0 {
+		return p, errors.New("core: campaign phase-weight table is empty")
+	}
+	if spec.StartMinute < 0 {
+		return p, fmt.Errorf("core: campaign start minute %d is negative", spec.StartMinute)
+	}
+	p.cells = len(spec.Arrivals) * spec.Days
+	p.workers = resolveWorkers(p.cells, spec.Workers)
+	return p, nil
+}
+
 // GenerateCampaign generates every (BS, day) cell of the spec on the
 // worker pool and returns the blocks in cell order (BS-major:
 // block index = bs*Days + day). The result is bit-identical for every
 // worker count and depends only on (generator seed, spec). Campaign
 // generation is a v2 feature; v1 generators return an error.
+//
+// GenerateCampaign materializes the whole campaign at once; callers
+// that fold cells into an aggregate (a demand trace, a file, a
+// collector) should use GenerateCampaignFold, which keeps O(workers)
+// cells live instead of cells = BSs × days.
 func (g *Generator) GenerateCampaign(spec CampaignSpec) ([]DayBlock, error) {
-	if g.Engine != GenV2 {
-		return nil, errors.New("core: campaign generation needs engine v2 (v1 preserves the historical single stream)")
+	p, err := g.validateCampaign(spec)
+	if err != nil {
+		return nil, err
 	}
-	if len(spec.Arrivals) == 0 {
-		return nil, errors.New("core: campaign needs at least one arrival model")
-	}
-	for i, a := range spec.Arrivals {
-		if a == nil {
-			return nil, fmt.Errorf("core: campaign arrival model %d is nil", i)
-		}
-	}
-	if spec.Keys != nil && len(spec.Keys) != len(spec.Arrivals) {
-		return nil, fmt.Errorf("core: campaign has %d keys for %d arrival models", len(spec.Keys), len(spec.Arrivals))
-	}
-	if spec.Days <= 0 {
-		return nil, fmt.Errorf("core: campaign needs days >= 1, got %d", spec.Days)
-	}
-	minutes := spec.MinutesPerDay
-	if minutes == 0 {
-		minutes = 24 * 60
-	}
-	if minutes < 0 {
-		return nil, fmt.Errorf("core: campaign needs minutes per day >= 0, got %d", minutes)
-	}
-	weights := spec.PhaseWeights
-	if weights == nil {
-		weights = phaseWeightTable()
-	}
-	if len(weights) == 0 {
-		return nil, errors.New("core: campaign phase-weight table is empty")
-	}
-	if spec.StartMinute < 0 {
-		return nil, fmt.Errorf("core: campaign start minute %d is negative", spec.StartMinute)
-	}
-
-	cells := len(spec.Arrivals) * spec.Days
-	blocks := make([]DayBlock, cells)
-	workers := resolveWorkers(cells, spec.Workers)
-	scratch := make([]genScratch, workers)
-	runTasksWorker(cells, workers, func(w, cell int) {
+	blocks := make([]DayBlock, p.cells)
+	scratch := make([]genScratch, p.workers)
+	runTasksWorker(p.cells, p.workers, func(w, cell int) {
 		bs := cell / spec.Days
 		day := cell % spec.Days
 		key := uint64(bs)
@@ -180,7 +204,7 @@ func (g *Generator) GenerateCampaign(spec CampaignSpec) ([]DayBlock, error) {
 		}
 		blk := &blocks[cell]
 		blk.BS, blk.Day = bs, day
-		g.generateCell(blk, spec.Arrivals[bs], key, uint64(day), minutes, spec.StartMinute, weights, &scratch[w])
+		g.generateCell(blk, spec.Arrivals[bs], key, uint64(day), p.minutes, spec.StartMinute, p.weights, &scratch[w])
 	})
 	if obs.Enabled() {
 		var sessions int64
@@ -188,9 +212,48 @@ func (g *Generator) GenerateCampaign(spec CampaignSpec) ([]DayBlock, error) {
 			sessions += int64(blocks[i].Sessions())
 		}
 		obs.CounterOf("gen_sessions_total").Add(sessions)
-		obs.CounterOf("gen_minutes_total").Add(int64(cells) * int64(minutes))
+		obs.CounterOf("gen_minutes_total").Add(int64(p.cells) * int64(p.minutes))
 	}
 	return blocks, nil
+}
+
+// GenerateCampaignFold generates the same cells as GenerateCampaign
+// but never materializes the campaign: cells are produced concurrently
+// on the worker pool and handed to visit strictly in cell order
+// (BS-major, the order GenerateCampaign returns), with the block
+// storage recycled through a freelist once visit returns. The blocks
+// visit sees are bit-identical to GenerateCampaign's for every worker
+// count; only their lifetime differs. The *DayBlock argument — and its
+// backing arrays — is only valid during the visit call: the fold
+// reuses it for a later cell, so callers that need to keep cell data
+// must copy it out. A non-nil error from visit stops the campaign
+// early and is returned.
+func (g *Generator) GenerateCampaignFold(spec CampaignSpec, visit func(*DayBlock) error) error {
+	p, err := g.validateCampaign(spec)
+	if err != nil {
+		return err
+	}
+	scratch := make([]genScratch, p.workers)
+	var sessions, minutes int64
+	err = FoldTasks(p.cells, p.workers, func(w, cell int, blk *DayBlock) {
+		bs := cell / spec.Days
+		day := cell % spec.Days
+		key := uint64(bs)
+		if spec.Keys != nil {
+			key = spec.Keys[bs]
+		}
+		blk.BS, blk.Day = bs, day
+		g.generateCell(blk, spec.Arrivals[bs], key, uint64(day), p.minutes, spec.StartMinute, p.weights, &scratch[w])
+	}, func(cell int, blk *DayBlock) error {
+		sessions += int64(blk.Sessions())
+		minutes += int64(p.minutes)
+		return visit(blk)
+	})
+	if obs.Enabled() {
+		obs.CounterOf("gen_sessions_total").Add(sessions)
+		obs.CounterOf("gen_minutes_total").Add(minutes)
+	}
+	return err
 }
 
 // GenerateDays is the single-BS convenience form of GenerateCampaign:
@@ -208,6 +271,30 @@ func (g *Generator) GenerateDays(class, days, workers int) ([]DayBlock, error) {
 	})
 }
 
+// expectedCellSessions estimates the mean session count of one
+// (BS, day) cell from the arrival model and the phase-weight profile:
+// each minute contributes the phase-weighted mix of the daytime
+// Gaussian mean and the (capped) nighttime Pareto mean. A fresh
+// block's first allocation lands at its steady-state size instead of
+// doubling toward it, which matters to callers that run many
+// short-lived folds (one per antenna study) under a memory budget.
+func expectedCellSessions(arr *ArrivalModel, minutes, startMinute int, weights []float64) int {
+	// The sampler caps the Pareto rate at PeakMu/2; use the smaller of
+	// that cap and the uncapped Pareto mean scale*shape/(shape-1).
+	offMean := arr.PeakMu * 0.5
+	if arr.OffShape > 1 {
+		if m := arr.OffScale * arr.OffShape / (arr.OffShape - 1); m < offMean {
+			offMean = m
+		}
+	}
+	var e float64
+	for m := 0; m < minutes; m++ {
+		w := weights[(startMinute+m)%len(weights)]
+		e += w*arr.PeakMu + (1-w)*offMean
+	}
+	return int(e)
+}
+
 // generateCell fills one (BS, day) block from the cell's substream.
 // Per minute the stream consumes: one phase uniform, the arrival count
 // draw, then — when n > 0 — five rectangular batches of n variates in
@@ -215,19 +302,32 @@ func (g *Generator) GenerateDays(class, days, workers int) ([]DayBlock, error) {
 // uniforms even for peak-free models, noise Gaussians even at zero
 // noise), so the draw layout never depends on sampled structure and
 // two cells with the same key and day are always identical.
+// A block whose backing arrays are large enough is refilled in place
+// (the fold path recycles blocks through a freelist); a zero-valued
+// block allocates with an arrival-rate-derived capacity estimate.
 func (g *Generator) generateCell(blk *DayBlock, arr *ArrivalModel, key, day uint64, minutes, startMinute int, weights []float64, sc *genScratch) {
 	var rng = g.pcg // copy the type, not the state:
 	rng.SeedStream(g.seed^genCampaignDomain, key, day)
 
-	blk.Offsets = make([]int32, minutes+1)
-	est := int(arr.PeakMu) * minutes / 2
-	if est < 64 {
-		est = 64
+	if cap(blk.Offsets) >= minutes+1 {
+		blk.Offsets = blk.Offsets[:minutes+1]
+		blk.Offsets[0] = 0
+	} else {
+		blk.Offsets = make([]int32, minutes+1)
 	}
-	blk.Svc = make([]int32, 0, est)
-	blk.Volume = make([]float64, 0, est)
-	blk.Duration = make([]float64, 0, est)
-	blk.Start = make([]float64, 0, est)
+	if blk.Svc != nil {
+		blk.Svc = blk.Svc[:0]
+		blk.Volume = blk.Volume[:0]
+		blk.Duration = blk.Duration[:0]
+		blk.Start = blk.Start[:0]
+	} else {
+		est := expectedCellSessions(arr, minutes, startMinute, weights)
+		est += est/8 + 64
+		blk.Svc = make([]int32, 0, est)
+		blk.Volume = make([]float64, 0, est)
+		blk.Duration = make([]float64, 0, est)
+		blk.Start = make([]float64, 0, est)
+	}
 
 	plan := g.plan
 	for m := 0; m < minutes; m++ {

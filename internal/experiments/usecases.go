@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -153,7 +154,9 @@ func dayWeightTable() []float64 {
 // GenV2 runs on the parallel campaign plane — day cells keyed by
 // (key, day) generate concurrently on up to workers goroutines and
 // fold into the trace in day order, so the trace depends only on
-// (seed, key), never on the schedule.
+// (seed, key), never on the schedule. The fold consumes each cell as
+// it completes and recycles its storage, so the builder's transient
+// footprint is O(workers) day blocks, not the whole campaign.
 func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, catalogIdx, modelIdx []int, seed int64, engine core.Engine, key uint64, workers int) (*slicing.DemandTrace, error) {
 	trace, err := slicing.NewDemandTrace(numServices, days*24*60)
 	if err != nil {
@@ -172,18 +175,13 @@ func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, c
 		toCatalogIdx[mi] = catalogIdx[k]
 	}
 	if gen.Engine != core.GenV1 {
-		blocks, err := gen.GenerateCampaign(core.CampaignSpec{
+		err := gen.GenerateCampaignFold(core.CampaignSpec{
 			Arrivals: []*core.ArrivalModel{arr},
 			Keys:     []uint64{key},
 			Days:     days,
 			Workers:  workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		for d := range blocks {
-			blk := &blocks[d]
-			origin := float64(d) * 86400
+		}, func(blk *core.DayBlock) error {
+			origin := float64(blk.Day) * 86400
 			for i := 0; i < blk.Sessions(); i++ {
 				ci := toCatalogIdx[blk.Svc[i]]
 				if ci < 0 {
@@ -196,6 +194,10 @@ func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, c
 					Volume:   blk.Volume[i],
 				})
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return trace, nil
 	}
@@ -235,13 +237,82 @@ func buildModelDemand(env *Env, arr *core.ArrivalModel, days, numServices int, c
 // benchmark generator's own substream family under the same seed.
 const catPhaseDomain uint64 = 0xEC5E_CA7E_70A5E4D1
 
+// demandTile is one day of demand rasterized into a local minute grid:
+// rows indexed by category, columns by minute from the tile's day
+// origin. A row extends past the 1440-minute day boundary when a
+// session spills into later days. Folding tiles instead of session
+// specs is what makes the category builder zero-materialization: a
+// day's working set is the ~34 KB grid, not its ~70k session records.
+type demandTile struct {
+	rows [littrafgen.NumCategories][]float64
+}
+
+// reset clears the tile to a zeroed 1440-minute day, keeping any
+// spill capacity a previous day grew.
+func (t *demandTile) reset() {
+	for c := range t.rows {
+		row := t.rows[c]
+		if row == nil {
+			t.rows[c] = make([]float64, 24*60)
+			continue
+		}
+		row = row[:cap(row)]
+		for i := range row {
+			row[i] = 0
+		}
+		t.rows[c] = row[:24*60]
+	}
+}
+
+// add rasterizes one session with slicing.AddSession's uniform spread:
+// volume at rate bytes/second over the minutes the session overlaps.
+// start is seconds from the tile origin; maxCols caps the spread at the
+// trace horizon exactly as AddSession clamps to its Minutes.
+func (t *demandTile) add(cat int, start, dur, vol float64, maxCols int) {
+	if dur <= 0 || vol <= 0 {
+		return
+	}
+	rate := vol / dur
+	end := start + dur
+	row := t.rows[cat]
+	for m := int(start / 60); m < maxCols; m++ {
+		lo := math.Max(start, float64(m)*60)
+		hi := math.Min(end, float64(m+1)*60)
+		if hi <= lo {
+			break
+		}
+		for m >= len(row) {
+			row = append(row, 0)
+		}
+		row[m] += rate * (hi - lo)
+	}
+	t.rows[cat] = row
+}
+
+// merge folds the tile into the trace at day d. Tiles merge strictly
+// in day order, so every trace column accumulates its contributions in
+// a schedule-independent order.
+func (t *demandTile) merge(trace *slicing.DemandTrace, d int) {
+	base := d * 24 * 60
+	for c := range t.rows {
+		dst := trace.Demand[c]
+		for i, v := range t.rows[c] {
+			if v != 0 {
+				dst[base+i] += v
+			}
+		}
+	}
+}
+
 // buildCategoryDemand generates a 3-row category trace from the
 // literature models with the same arrival process. GenV1 replays the
 // historical serial streams; GenV2 decomposes into per-day cells —
 // sessions from littrafgen substreams keyed (key, day), phase/count/
-// start draws from a salted sibling PCG of the same keying — generated
-// concurrently into per-day buffers and folded in day order, so the
-// trace depends only on (seed, key).
+// start draws from a salted sibling PCG of the same keying — rasterized
+// concurrently into recycled per-day demand tiles and folded into the
+// trace in day order, so the trace depends only on (seed, key) and the
+// transient footprint is O(workers) minute grids, not the horizon's
+// session records.
 func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.NumCategories]float64, seed int64, engine core.Engine, key uint64, workers int) (*slicing.DemandTrace, error) {
 	trace, err := slicing.NewDemandTrace(littrafgen.NumCategories, days*24*60)
 	if err != nil {
@@ -249,11 +320,11 @@ func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.Nu
 	}
 	gen := littrafgen.NewGeneratorEngine(shares, seed, engine)
 	if gen.Engine != core.GenV1 {
-		perDay := make([][]slicing.SessionSpec, days)
 		var firstErr error
 		var errMu sync.Mutex
 		dayW := dayWeightTable()
-		core.RunTasks(days, workers, func(d int) {
+		foldErr := core.FoldTasks(days, workers, func(_, d int, tile *demandTile) {
+			tile.reset()
 			sub, err := gen.Substream(key, uint64(d))
 			if err != nil {
 				errMu.Lock()
@@ -265,28 +336,24 @@ func buildCategoryDemand(arr *core.ArrivalModel, days int, shares [littrafgen.Nu
 			}
 			var pcg mathx.PCG
 			pcg.SeedStream(uint64(seed)^catPhaseDomain, key, uint64(d))
-			var specs []slicing.SessionSpec
+			maxCols := (days - d) * 24 * 60
 			for m := 0; m < 24*60; m++ {
-				gm := d*24*60 + m
 				peak := pcg.Float64() < dayW[m]
 				n := arr.SampleCountFast(peak, &pcg)
 				for k := 0; k < n; k++ {
 					s := sub.Sample()
-					specs = append(specs, slicing.SessionSpec{
-						Service:  int(s.Category),
-						Start:    float64(gm)*60 + pcg.Float64()*60,
-						Duration: s.Duration,
-						Volume:   s.Volume,
-					})
+					tile.add(int(s.Category), float64(m)*60+pcg.Float64()*60, s.Duration, s.Volume, maxCols)
 				}
 			}
-			perDay[d] = specs
+		}, func(d int, tile *demandTile) error {
+			tile.merge(trace, d)
+			return nil
 		})
+		if foldErr != nil {
+			return nil, foldErr
+		}
 		if firstErr != nil {
 			return nil, firstErr
-		}
-		for _, specs := range perDay {
-			_ = trace.AddSessions(specs)
 		}
 		return trace, nil
 	}

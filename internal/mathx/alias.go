@@ -98,21 +98,37 @@ func (t *AliasTable) Column(i int) (prob float64, alias int) {
 // whole batch. out must be at least len(us) long. The mapping is
 // identical to calling Pick on each element.
 func (t *AliasTable) PickBatch(us []float64, out []int32) {
-	n := len(t.prob)
-	fn := float64(n)
-	_ = out[:len(us)]
-	for k, u := range us {
-		s := u * fn
-		i := int(s)
-		if i >= n { // u at (or rounded to) 1
-			i = n - 1
-		}
-		idx := int32(i)
-		if s-float64(i) >= t.prob[i] {
-			idx = t.alias[i]
-		}
-		out[k] = idx
+	fn := float64(len(t.prob))
+	out = out[:len(us)]
+	prob, alias := t.prob, t.alias
+	// Four independent picks per iteration: no pick depends on another,
+	// so the unrolled bodies overlap their table loads and compares.
+	k := 0
+	for ; k+4 <= len(us); k += 4 {
+		out[k] = aliasPick1(prob, alias, fn, us[k])
+		out[k+1] = aliasPick1(prob, alias, fn, us[k+1])
+		out[k+2] = aliasPick1(prob, alias, fn, us[k+2])
+		out[k+3] = aliasPick1(prob, alias, fn, us[k+3])
 	}
+	for ; k < len(us); k++ {
+		out[k] = aliasPick1(prob, alias, fn, us[k])
+	}
+}
+
+// aliasPick1 is one branch-light pick: the column select and the coin
+// compare are evaluated with a conditional move instead of the scalar
+// method's early return. The mapping is identical to Pick.
+func aliasPick1(prob []float64, alias []int32, fn float64, u float64) int32 {
+	s := u * fn
+	i := int(s)
+	if i >= len(prob) { // u at (or rounded to) 1
+		i = len(prob) - 1
+	}
+	idx := int32(i)
+	if s-float64(i) >= prob[i] {
+		idx = alias[i]
+	}
+	return idx
 }
 
 // Pick maps a uniform variate u in [0, 1) to a category index: the

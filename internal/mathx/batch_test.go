@@ -74,6 +74,65 @@ func TestPickBatchMatchesScalar(t *testing.T) {
 	tab.PickBatch(nil, nil) // empty batch is a no-op, not a panic
 }
 
+// TestLaneSplitMatchesScalar is the property test of the lane-split
+// kernels: across random seeds and batch lengths spanning every code
+// path — stride-1 scalar fallback (n < 8), the 4-lane ziggurat chunks
+// of FillNorm/FillExp, the 8-state-lane uniform kernel, and their
+// scalar tails — every batch fill must equal an element-for-element
+// scalar replay and leave the generator in the identical state. The
+// run is long enough that the ziggurat rejection paths (wedge and
+// tail) fire many times, which the test asserts, so the in-order
+// slow-path fallback is exercised and not just the speculative fast
+// path.
+func TestLaneSplitMatchesScalar(t *testing.T) {
+	kernels := []struct {
+		name   string
+		batch  func(p *mathx.PCG, dst []float64)
+		scalar func(p *mathx.PCG) float64
+		// tailAt reports a draw that can only come from a ziggurat
+		// slow path (rejection beyond the fast-path rectangle edge).
+		tailAt func(x float64) bool
+	}{
+		{"uniform", (*mathx.PCG).FillFloat64, (*mathx.PCG).Float64, nil},
+		{"normal", (*mathx.PCG).FillNorm, (*mathx.PCG).NormFloat64,
+			func(x float64) bool { return x > 3.442619855899 || x < -3.442619855899 }},
+		{"exponential", (*mathx.PCG).FillExp, (*mathx.PCG).ExpFloat64,
+			func(x float64) bool { return x > 7.69711747013104972 }},
+	}
+	// Lengths straddle the lane-split threshold (8), the 4- and 8-lane
+	// chunk boundaries, and force every scalar-tail length 1..7.
+	lengths := []int{0, 1, 3, 4, 5, 7, 8, 9, 11, 12, 15, 16, 17, 31, 32, 33, 63, 257, 1024, 4097}
+	seed := uint64(0xA5A5)
+	for _, k := range kernels {
+		tails := 0
+		for trial := 0; trial < 40; trial++ {
+			seed = mathx.SplitMix64(seed)
+			for _, n := range lengths {
+				var pa, pb mathx.PCG
+				pa.SeedStream(seed, uint64(trial), uint64(n))
+				pb.SeedStream(seed, uint64(trial), uint64(n))
+				dst := make([]float64, n)
+				k.batch(&pa, dst)
+				for i := 0; i < n; i++ {
+					want := k.scalar(&pb)
+					if dst[i] != want {
+						t.Fatalf("%s seed=%x n=%d: batch[%d] = %v, scalar = %v", k.name, seed, n, i, dst[i], want)
+					}
+					if k.tailAt != nil && k.tailAt(dst[i]) {
+						tails++
+					}
+				}
+				if a, b := pa.Uint64(), pb.Uint64(); a != b {
+					t.Fatalf("%s seed=%x n=%d: generator state diverged after batch", k.name, seed, n)
+				}
+			}
+		}
+		if k.tailAt != nil && tails == 0 {
+			t.Errorf("%s: property run never hit the ziggurat tail — rejection fallback untested", k.name)
+		}
+	}
+}
+
 // TestGenBatchKernelAllocs pins every batch kernel at zero heap
 // allocations on reused buffers — the property the worker-pool
 // campaign's per-worker scratch relies on.

@@ -61,13 +61,53 @@ func (p *PCG) SeedStream(master, a, b uint64) {
 	p.Seed(s, SplitMix64(s))
 }
 
+// pcgOutput folds a pre-advance PCG state into its 32-bit output
+// (XSH-RR): an xorshift of the high bits followed by a data-dependent
+// rotation. Factored out of Uint32 so the lane-split kernels can apply
+// it to states produced by jump-ahead rather than sequential stepping.
+func pcgOutput(old uint64) uint32 {
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return xorshifted>>rot | xorshifted<<((-rot)&31)
+}
+
 // Uint32 returns the next 32 uniformly distributed bits.
 func (p *PCG) Uint32() uint32 {
 	old := p.state
 	p.state = old*pcgMult + p.inc
-	xorshifted := uint32(((old >> 18) ^ old) >> 27)
-	rot := uint32(old >> 59)
-	return xorshifted>>rot | xorshifted<<((-rot)&31)
+	return pcgOutput(old)
+}
+
+// lcgJump returns the stride-delta composition (A_k, C_k) of the LCG
+// step under stream increment inc: one application of
+// state -> A_k·state + C_k equals delta single steps
+// state -> A·state + C. A_k = A^k and C_k = (A^{k-1} + ... + A + 1)·C,
+// both computed by binary exponentiation on the affine map (Brown 1994
+// "Random number generation with arbitrary strides", the same
+// composition pcg_advance uses); affine powers of one base map
+// commute, so the accumulation order is immaterial. All arithmetic is
+// modulo 2^64, which uint64 wraparound provides.
+func lcgJump(delta, inc uint64) (aK, cK uint64) {
+	aK, cK = 1, 0
+	curA, curC := uint64(pcgMult), inc
+	for delta > 0 {
+		if delta&1 != 0 {
+			aK *= curA
+			cK = cK*curA + curC
+		}
+		curC = (curA + 1) * curC
+		curA *= curA
+		delta >>= 1
+	}
+	return aK, cK
+}
+
+// Advance moves the generator delta steps forward in its Uint32 state
+// sequence in O(log delta) time: Advance(k) leaves the generator
+// exactly where k discarded Uint32 calls would.
+func (p *PCG) Advance(delta uint64) {
+	aK, cK := lcgJump(delta, p.inc)
+	p.state = p.state*aK + cK
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
@@ -170,44 +210,228 @@ func (p *PCG) NormFloat64() float64 {
 }
 
 // Batch draw kernels: fill-N forms of the scalar samplers used by the
-// parallel generation plane (see DESIGN.md "Generation engine
-// streams"). Each kernel copies the 16-byte generator into a local,
-// loops with that state register-resident, and writes it back once —
-// amortizing the pointer load/store of the scalar methods over the
-// whole batch and keeping the loop bodies straight-line so the
-// compiler (or a future assembly kernel) can vectorize them. Every
-// kernel consumes the stream draw-for-draw identically to len(dst)
-// scalar calls (TestFillKernelsMatchScalar), so batched and scalar
-// code paths can share one stream definition.
+// parallel generation plane (see DESIGN.md "Lane-split kernels and LCG
+// jump-ahead"). The LCG core advances by one fixed affine map per
+// draw, so "k positions ahead" is itself a single precomputed affine
+// map (lcgJump): the kernels exploit this to run interleaved lanes of
+// the SAME stream — lane j holds state position j and advances by the
+// stride-k map each iteration — which removes the serial state
+// dependence from the loop body. The k lane updates are independent
+// multiply-adds the CPU pipelines can overlap (and a vectorizing
+// compiler can widen); outputs are written in stream order, and the
+// ziggurat kernels replay any draw that leaves the fast path through
+// the scalar sampler in-order, so every kernel stays draw-for-draw
+// identical to len(dst) scalar calls (TestFillKernelsMatchScalar,
+// TestLaneSplitMatchesScalar) and batched and scalar code paths share
+// one stream definition.
+
+// laneSplitMin is the batch length below which the kernels fall back
+// to the plain serial loop: the stride constants cost a handful of
+// multiply-adds to set up, which only amortizes over enough elements.
+const laneSplitMin = 8
+
+// pcgU53 folds a hi/lo pair of 32-bit outputs into a uniform [0, 1)
+// float64 with 53 random bits, exactly as Float64 does.
+func pcgU53(hi, lo uint32) float64 {
+	return float64((uint64(hi)<<32|uint64(lo))>>11) * 0x1p-53
+}
 
 // FillFloat64 fills dst with uniform [0, 1) variates, identical to
-// len(dst) sequential Float64 calls.
+// len(dst) sequential Float64 calls. Batches of laneSplitMin or more
+// run 8 interleaved state lanes (4 elements per iteration: each
+// element consumes a hi and a lo 32-bit draw).
 func (p *PCG) FillFloat64(dst []float64) {
-	local := *p
-	for i := range dst {
-		dst[i] = local.Float64()
+	if len(dst) < laneSplitMin {
+		local := *p
+		for i := range dst {
+			dst[i] = local.Float64()
+		}
+		*p = local
+		return
 	}
-	*p = local
+	// Stride constants A_k, C_k for k = 1..8 under this stream's
+	// increment; a[8]/c[8] is the per-iteration lane advance.
+	inc := p.inc
+	var a, c [9]uint64
+	a[0], c[0] = 1, 0
+	for k := 1; k <= 8; k++ {
+		a[k] = a[k-1] * pcgMult
+		c[k] = c[k-1]*pcgMult + inc
+	}
+	s := p.state
+	s0 := s
+	s1 := a[1]*s + c[1]
+	s2 := a[2]*s + c[2]
+	s3 := a[3]*s + c[3]
+	s4 := a[4]*s + c[4]
+	s5 := a[5]*s + c[5]
+	s6 := a[6]*s + c[6]
+	s7 := a[7]*s + c[7]
+	a8, c8 := a[8], c[8]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = pcgU53(pcgOutput(s0), pcgOutput(s1))
+		dst[i+1] = pcgU53(pcgOutput(s2), pcgOutput(s3))
+		dst[i+2] = pcgU53(pcgOutput(s4), pcgOutput(s5))
+		dst[i+3] = pcgU53(pcgOutput(s6), pcgOutput(s7))
+		s0 = a8*s0 + c8
+		s1 = a8*s1 + c8
+		s2 = a8*s2 + c8
+		s3 = a8*s3 + c8
+		s4 = a8*s4 + c8
+		s5 = a8*s5 + c8
+		s6 = a8*s6 + c8
+		s7 = a8*s7 + c8
+	}
+	// s0 advanced 8 states per iteration from position 0, so it is
+	// exactly the next unconsumed state for the scalar tail.
+	p.state = s0
+	for ; i < len(dst); i++ {
+		dst[i] = p.Float64()
+	}
 }
 
 // FillNorm fills dst with standard normal variates, identical to
-// len(dst) sequential NormFloat64 calls.
+// len(dst) sequential NormFloat64 calls. Batches run 4 interleaved
+// lanes through the ziggurat fast path (one 32-bit draw, one table
+// compare per lane); a chunk with any lane outside the fast path keeps
+// its fast prefix and replays the first rejecting draw through the
+// scalar sampler, so tail and wedge draws consume the stream in order.
 func (p *PCG) FillNorm(dst []float64) {
-	local := *p
-	for i := range dst {
-		dst[i] = local.NormFloat64()
+	if len(dst) < laneSplitMin {
+		local := *p
+		for i := range dst {
+			dst[i] = local.NormFloat64()
+		}
+		*p = local
+		return
 	}
-	*p = local
+	inc := p.inc
+	a1, c1 := uint64(pcgMult), inc
+	a2, c2 := a1*pcgMult, c1*pcgMult+inc
+	a3, c3 := a2*pcgMult, c2*pcgMult+inc
+	a4, c4 := a3*pcgMult, c3*pcgMult+inc
+	s := p.state
+	i := 0
+	for i+4 <= len(dst) {
+		t1 := a1*s + c1
+		t2 := a2*s + c2
+		t3 := a3*s + c3
+		j0 := int32(pcgOutput(s))
+		j1 := int32(pcgOutput(t1))
+		j2 := int32(pcgOutput(t2))
+		j3 := int32(pcgOutput(t3))
+		i0, i1, i2, i3 := j0&127, j1&127, j2&127, j3&127
+		x0 := float64(j0) * znW[i0]
+		x1 := float64(j1) * znW[i1]
+		x2 := float64(j2) * znW[i2]
+		x3 := float64(j3) * znW[i3]
+		if absInt32(j0) < znK[i0] && absInt32(j1) < znK[i1] &&
+			absInt32(j2) < znK[i2] && absInt32(j3) < znK[i3] {
+			dst[i] = x0
+			dst[i+1] = x1
+			dst[i+2] = x2
+			dst[i+3] = x3
+			s = a4*s + c4
+			i += 4
+			continue
+		}
+		// Slow path (~5% of chunks): find the first rejecting lane,
+		// keep the fast results before it, and re-enter after the
+		// scalar draw with whatever state it left behind.
+		f := 0
+		switch {
+		case absInt32(j0) >= znK[i0]:
+			p.state = s
+		case absInt32(j1) >= znK[i1]:
+			dst[i] = x0
+			p.state = t1
+			f = 1
+		case absInt32(j2) >= znK[i2]:
+			dst[i], dst[i+1] = x0, x1
+			p.state = t2
+			f = 2
+		default:
+			dst[i], dst[i+1], dst[i+2] = x0, x1, x2
+			p.state = t3
+			f = 3
+		}
+		dst[i+f] = p.NormFloat64()
+		i += f + 1
+		s = p.state
+	}
+	p.state = s
+	for ; i < len(dst); i++ {
+		dst[i] = p.NormFloat64()
+	}
 }
 
 // FillExp fills dst with Exp(1) variates, identical to len(dst)
-// sequential ExpFloat64 calls.
+// sequential ExpFloat64 calls. Same 4-lane speculative structure as
+// FillNorm over the exponential ziggurat.
 func (p *PCG) FillExp(dst []float64) {
-	local := *p
-	for i := range dst {
-		dst[i] = local.ExpFloat64()
+	if len(dst) < laneSplitMin {
+		local := *p
+		for i := range dst {
+			dst[i] = local.ExpFloat64()
+		}
+		*p = local
+		return
 	}
-	*p = local
+	inc := p.inc
+	a1, c1 := uint64(pcgMult), inc
+	a2, c2 := a1*pcgMult, c1*pcgMult+inc
+	a3, c3 := a2*pcgMult, c2*pcgMult+inc
+	a4, c4 := a3*pcgMult, c3*pcgMult+inc
+	s := p.state
+	i := 0
+	for i+4 <= len(dst) {
+		t1 := a1*s + c1
+		t2 := a2*s + c2
+		t3 := a3*s + c3
+		j0 := pcgOutput(s)
+		j1 := pcgOutput(t1)
+		j2 := pcgOutput(t2)
+		j3 := pcgOutput(t3)
+		i0, i1, i2, i3 := j0&255, j1&255, j2&255, j3&255
+		x0 := float64(j0) * zeW[i0]
+		x1 := float64(j1) * zeW[i1]
+		x2 := float64(j2) * zeW[i2]
+		x3 := float64(j3) * zeW[i3]
+		if j0 < zeK[i0] && j1 < zeK[i1] && j2 < zeK[i2] && j3 < zeK[i3] {
+			dst[i] = x0
+			dst[i+1] = x1
+			dst[i+2] = x2
+			dst[i+3] = x3
+			s = a4*s + c4
+			i += 4
+			continue
+		}
+		f := 0
+		switch {
+		case j0 >= zeK[i0]:
+			p.state = s
+		case j1 >= zeK[i1]:
+			dst[i] = x0
+			p.state = t1
+			f = 1
+		case j2 >= zeK[i2]:
+			dst[i], dst[i+1] = x0, x1
+			p.state = t2
+			f = 2
+		default:
+			dst[i], dst[i+1], dst[i+2] = x0, x1, x2
+			p.state = t3
+			f = 3
+		}
+		dst[i+f] = p.ExpFloat64()
+		i += f + 1
+		s = p.state
+	}
+	p.state = s
+	for ; i < len(dst); i++ {
+		dst[i] = p.ExpFloat64()
+	}
 }
 
 // ExpFloat64 returns an Exp(1) variate via the ziggurat method.

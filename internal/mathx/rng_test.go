@@ -167,3 +167,34 @@ func TestSplitMix64KnownValues(t *testing.T) {
 		seen[h] = true
 	}
 }
+
+// TestPCGAdvance pins the LCG jump-ahead against actual stepping:
+// Advance(k) must land exactly where k discarded Uint32 calls do, and
+// jumps must compose additively (the A_k/C_k derivation in DESIGN.md
+// "Lane-split kernels and LCG jump-ahead").
+func TestPCGAdvance(t *testing.T) {
+	for _, k := range []uint64{0, 1, 2, 3, 4, 7, 8, 63, 64, 1000} {
+		var a, b PCG
+		a.SeedStream(11, 22, 33)
+		b.SeedStream(11, 22, 33)
+		a.Advance(k)
+		for i := uint64(0); i < k; i++ {
+			b.Uint32()
+		}
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Errorf("Advance(%d) diverges from %d steps: %x vs %x", k, k, x, y)
+		}
+	}
+	// Composition: Advance(x) then Advance(y) equals Advance(x+y), for
+	// deltas far beyond anything steppable.
+	var a, b PCG
+	a.SeedStream(5, 6, 7)
+	b.SeedStream(5, 6, 7)
+	const x, y = 0x123456789A, 0xFEDCBA987
+	a.Advance(x)
+	a.Advance(y)
+	b.Advance(x + y)
+	if u, v := a.Uint64(), b.Uint64(); u != v {
+		t.Errorf("Advance composition broken: %x vs %x", u, v)
+	}
+}
