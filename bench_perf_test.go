@@ -58,6 +58,85 @@ func BenchmarkCollectorObserve(b *testing.B) {
 	}
 }
 
+// benchColumnsSim builds the default-topology simulator and one
+// sampled (BS, day) column set for the columnar micro-benches: the
+// busiest base station of the 40-BS default topology, pre-sized to the
+// campaign bound so the benched loop never re-allocates.
+func benchColumnsSim(b *testing.B) (*netsim.Simulator, *netsim.DayColumns) {
+	b.Helper()
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: 40, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{Days: 7, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cols := &netsim.DayColumns{SkipStart: true}
+	cols.Resize(sim.MaxDaySessions())
+	cols.Resize(0)
+	return sim, cols
+}
+
+// busiestBS returns the topology index with the highest peak arrival
+// rate, so the columnar micro-benches run on the heaviest day loop.
+func busiestBS(sim *netsim.Simulator) int {
+	best := 0
+	for i, bs := range sim.Topo.BSs {
+		if bs.PeakRate > sim.Topo.BSs[best].PeakRate {
+			best = i
+		}
+	}
+	return best
+}
+
+// BenchmarkSamplerDayColumns times synthesizing one (BS, day) of the
+// busiest base station straight into the columnar scratch — arrival
+// counts, batched service picks, grouped volume/duration kernels and
+// the mobility gate, with zero per-session materialization.
+func BenchmarkSamplerDayColumns(b *testing.B) {
+	sim, cols := benchColumnsSim(b)
+	bs := busiestBS(sim)
+	if err := sim.SampleDayColumns(bs, 0, cols); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.SampleDayColumns(bs, i%7, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cols.N()), "sessions/op")
+}
+
+// BenchmarkCollectorObserveColumns times folding one sampled (BS, day)
+// column set into the collector — the per-day cost of the columnar
+// probe ingest (grouped segment walk, threshold binning, bulk session
+// counts), steady-state after the cells exist.
+func BenchmarkCollectorObserveColumns(b *testing.B) {
+	sim, cols := benchColumnsSim(b)
+	bs := busiestBS(sim)
+	if err := sim.SampleDayColumns(bs, 0, cols); err != nil {
+		b.Fatal(err)
+	}
+	coll, err := probe.NewCollectorSized(len(sim.Services), len(sim.Topo.BSs), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := coll.ObserveColumns(bs, 0, cols); err != nil { // touch the cells once
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := coll.ObserveColumns(bs, 0, cols); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cols.N()), "sessions/op")
+}
+
 // BenchmarkCampaignResume times the resume path of the fault-tolerant
 // sharded runner: every shard loads from its checkpoint (codec decode +
 // CRC), the partials fold in shard order, and the models refit — the

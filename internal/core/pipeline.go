@@ -305,8 +305,7 @@ func FitArrivalsByDecileWorkers(c *probe.Collector, topo *netsim.Topology, worke
 			return
 		}
 		filter := probe.BSIn(idx)
-		peak := c.MinuteCountSamples(filter, netsim.IsPeakMinute)
-		off := c.MinuteCountSamples(filter, netsim.IsOffPeakMinute)
+		peak, off := c.MinuteCountSamplePair(filter, netsim.IsPeakMinute, netsim.IsOffPeakMinute)
 		if len(peak) == 0 || len(off) == 0 {
 			report.skip(label, "arrivals", fmt.Errorf("no minute samples (probes dark?)"))
 			return

@@ -72,12 +72,12 @@ func CollectSharded(ctx context.Context, sim *netsim.Simulator, c Config, opts C
 		if err != nil {
 			return nil, err
 		}
-		buf := make([]netsim.Session, 0, netsim.SessionBatchSize)
+		sc := newCollectScratch(sim, opts.Faults != nil)
 		for bs := sh.StartBS; bs < sh.EndBS; bs++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			if err := collectBS(sim, coll, buf, opts.Faults, bs, c.Days); err != nil {
+			if err := collectBS(sim, coll, sc, opts.Faults, bs, c.Days); err != nil {
 				return nil, err
 			}
 			// One heartbeat per completed BS feeds the supervisor's

@@ -74,6 +74,47 @@ func TestShardedWithDataFaults(t *testing.T) {
 	}
 }
 
+// TestShardedFaultyWorkersBitIdentical pins the columnar collect plane
+// under concurrent shard workers with faults enabled: for worker
+// counts 1, 4 and 7 over a fixed shard layout, the fitted ModelSet
+// JSON must be byte-identical. Per-(BS, day) substreams and fault
+// streams are derived, not sequenced, so scheduling must not matter;
+// the CI race job runs this under -race, where any sharing between
+// the per-worker DayColumns scratches, fault day-streams or partial
+// collectors surfaces as a data race.
+func TestShardedFaultyWorkersBitIdentical(t *testing.T) {
+	cfg := Config{NumBS: 14, Days: 1, Seed: 21}
+	fcfg := faults.Config{
+		OutageProb: 0.15, TruncatedDayProb: 0.1, FlowLossProb: 0.05,
+		FlowDupProb: 0.02, SignalGapProb: 0.03, MisclassProb: 0.02, Seed: 9,
+	}
+	numServices := catalogSize(t, cfg.Seed)
+	env := func(workers int) []byte {
+		t.Helper()
+		inj, err := faults.New(fcfg, numServices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, _, err := NewEnvSharded(context.Background(), cfg, CampaignOptions{
+			Shards: 7, Workers: workers, Faults: inj,
+		})
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		j, err := e.Models.ToJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	one := env(1)
+	for _, w := range []int{4, 7} {
+		if !bytes.Equal(one, env(w)) {
+			t.Fatalf("fault-injected campaign differs between 1 and %d workers", w)
+		}
+	}
+}
+
 // catalogSize builds a minimal environment just to learn the service
 // catalog size (the fault injector needs the count up front).
 func catalogSize(t *testing.T, seed int64) int {

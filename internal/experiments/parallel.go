@@ -111,16 +111,17 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 
 	// Partials are pre-sized to the campaign extent so the dense cell
 	// slabs never re-layout mid-collection, and each worker reuses one
-	// session batch buffer across its whole share of the campaign.
+	// collection scratch (columnar sampler/fault buffers, or the v1
+	// session batch buffer) across its whole share of the campaign.
 	partials := make([]*probe.Collector, workers)
-	bufs := make([][]netsim.Session, workers)
+	scratches := make([]*collectScratch, workers)
 	for w := range partials {
 		coll, err := probe.NewCollectorSized(len(sim.Services), numBS, days)
 		if err != nil {
 			return nil, err
 		}
 		partials[w] = coll
-		bufs[w] = make([]netsim.Session, 0, netsim.SessionBatchSize)
+		scratches[w] = newCollectScratch(sim, inj != nil)
 	}
 	workerSpans := make([]*obs.Span, workers)
 	err := forEachBS(numBS, workers, func(w, bs int) error {
@@ -131,7 +132,7 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 			s.SetTID(1 + w)
 			workerSpans[w] = s
 		}
-		return collectBS(sim, partials[w], bufs[w], inj, bs, days)
+		return collectBS(sim, partials[w], scratches[w], inj, bs, days)
 	})
 	for _, s := range workerSpans {
 		s.End()
@@ -150,13 +151,80 @@ func collect(sim *netsim.Simulator, days int, inj *faults.Injector) (*probe.Coll
 	return out, nil
 }
 
+// collectScratch bundles the reusable per-worker buffers of the
+// collection path: the columnar sampler output and fault-filtered
+// columns of the v2 pipeline, and the session batch buffer of the v1
+// scalar fallback. One scratch is owned by exactly one worker (or
+// shard attempt) and reused across its whole campaign share.
+type collectScratch struct {
+	cols    netsim.DayColumns // SampleDayColumns output
+	faulted netsim.DayColumns // ApplyColumns output when faults are injected
+	buf     []netsim.Session  // v1 generation batch buffer
+}
+
+// newCollectScratch builds one worker's scratch for a campaign over
+// sim. The columnar buffers skip the Start column (the probe ingest
+// bins by minute and never reads establishment seconds) and are
+// pre-sized to the simulator's analytic day-size bound, so the whole
+// campaign share runs without a single column re-allocation.
+func newCollectScratch(sim *netsim.Simulator, faulted bool) *collectScratch {
+	sc := &collectScratch{}
+	if sim.Config.Sampler == netsim.SamplerV1 {
+		sc.buf = make([]netsim.Session, 0, netsim.SessionBatchSize)
+		return sc
+	}
+	bound := sim.MaxDaySessions()
+	sc.cols.SkipStart = true
+	sc.cols.Resize(bound)
+	sc.cols.Resize(0)
+	if faulted {
+		sc.faulted.SkipStart = true
+		sc.faulted.Resize(bound)
+		sc.faulted.Resize(0)
+	}
+	return sc
+}
+
 // collectBS simulates every day of one base station into coll, routing
-// each session through the optional fault injector's per-(BS, day)
-// stream and reusing buf as the generation batch buffer. It is the
-// shared per-BS body of the in-process parallel collector (collect)
-// and the sharded campaign workers (CollectSharded) — both therefore
-// observe bit-identical cell statistics for a given (BS, day).
-func collectBS(sim *netsim.Simulator, coll *probe.Collector, buf []netsim.Session, inj *faults.Injector, bs, days int) error {
+// each cell through the optional fault injector's per-(BS, day)
+// stream. On sampler v2 (the default) the whole (BS, day) flows as
+// columns — SampleDayColumns → DayStream.ApplyColumns →
+// ObserveColumns — with no per-session Session materialization; the v1
+// golden stream keeps the scalar batch path. It is the shared per-BS
+// body of the in-process parallel collector (collect) and the sharded
+// campaign workers (CollectSharded) — both therefore observe
+// bit-identical cell statistics for a given (BS, day).
+func collectBS(sim *netsim.Simulator, coll *probe.Collector, sc *collectScratch, inj *faults.Injector, bs, days int) error {
+	if sim.Config.Sampler == netsim.SamplerV1 {
+		return collectBSScalar(sim, coll, sc.buf, inj, bs, days)
+	}
+	for day := 0; day < days; day++ {
+		var stream *faults.DayStream
+		if inj != nil {
+			stream = inj.Day(bs, day)
+			if stream.Down() {
+				continue // whole-day probe outage: nothing is exported
+			}
+		}
+		cols := &sc.cols
+		if err := sim.SampleDayColumns(bs, day, cols); err != nil {
+			return err
+		}
+		if stream != nil {
+			stream.ApplyColumns(cols, &sc.faulted)
+			cols = &sc.faulted
+		}
+		if err := coll.ObserveColumns(bs, day, cols); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectBSScalar is the v1 per-BS collection body: batched session
+// generation through the scalar Observe path, kept verbatim so the
+// golden v1 stream flows through exactly the code it always has.
+func collectBSScalar(sim *netsim.Simulator, coll *probe.Collector, buf []netsim.Session, inj *faults.Injector, bs, days int) error {
 	for day := 0; day < days; day++ {
 		var stream *faults.DayStream
 		if inj != nil {

@@ -300,6 +300,125 @@ func (d *DayStream) Apply(s netsim.Session, emit func(netsim.Session)) {
 	}
 }
 
+// ApplyColumns pushes one (BS, day) column of sessions through the
+// fault stream: src is the cell's minute-major DayColumns (as
+// netsim.SampleDayColumns emits), dst receives the surviving sessions
+// — every column copied, the service label possibly remapped,
+// duplicated records emitted twice in a row — and is resized to the
+// emitted count (dst.Counts is cleared, not maintained; the Start
+// column is copied only when src carries one). Misclassification
+// bursts re-map service labels, so the sampler's by-service grouping
+// cannot describe the output: dst is emitted with the grouping marked
+// invalid (SvcSeg truncated) and its value columns in plain session
+// order — src's grouped value columns are gathered through src.Slot —
+// so downstream columnar folds take their ungrouped path. src is not
+// modified; dst must not alias it.
+//
+// The fault realization is bit-identical to feeding the same sessions
+// through Apply one by one in column order: the per-session RNG draws
+// are consumed in exactly Apply's sequence, with the day-truncation
+// suffix (which consumes no draws in Apply) dropped as one column
+// range. Only the shared Stats/metrics counters are batched — one
+// atomic add per fault kind per column instead of one per session.
+func (d *DayStream) ApplyColumns(src, dst *netsim.DayColumns) {
+	n := src.N()
+	st := &d.inj.stats
+	st.observed.Add(int64(n))
+	dst.Counts = dst.Counts[:0]
+	dst.SvcSeg = dst.SvcSeg[:0]
+	dst.SkipStart = len(src.Start) != n
+	dst.Resize(0)
+	if d.down {
+		return
+	}
+	keep := n
+	if d.cutoff < netsim.MinutesPerDay {
+		keep = src.CutoffIndex(d.cutoff)
+		st.truncDropped.Add(int64(n - keep))
+	}
+	// Session order bridges to src's value columns through the grouped
+	// slot when src carries the sampler's grouping, or the identity
+	// when src is already in session order.
+	grouped := src.Grouped(d.inj.numServices)
+	cfg := &d.inj.cfg
+	rng := d.rng
+	var lost, gap, misclass, dup, emitted int64
+	out := 0
+	for i := 0; i < keep; i++ {
+		if cfg.FlowLossProb > 0 && rng.Float64() < cfg.FlowLossProb {
+			lost++
+			continue
+		}
+		if cfg.SignalGapProb > 0 && rng.Float64() < cfg.SignalGapProb {
+			gap++
+			continue
+		}
+		if d.burstLeft == 0 && cfg.MisclassProb > 0 &&
+			rng.Float64() < cfg.MisclassProb/cfg.MeanBurstLen {
+			// Same burst model as Apply: a geometric-length run of
+			// records consistently rerouted to one wrong service.
+			d.burstLeft = 1 + d.geometric(cfg.MeanBurstLen)
+			d.burstShift = 0
+			if d.inj.numServices > 1 {
+				d.burstShift = 1 + rng.Intn(d.inj.numServices-1)
+			}
+		}
+		sv := src.Svc[i]
+		if d.burstLeft > 0 {
+			d.burstLeft--
+			if d.burstShift != 0 {
+				sv = int32((int(sv) + d.burstShift) % d.inj.numServices)
+				misclass++
+			}
+		}
+		dupHere := cfg.FlowDupProb > 0 && rng.Float64() < cfg.FlowDupProb
+		copies := 1
+		if dupHere {
+			copies = 2
+			dup++
+		}
+		emitted += int64(copies)
+		if out+copies > dst.N() {
+			dst.Resize(out + copies + (keep-i)*copies)
+		}
+		g := i
+		if grouped {
+			g = int(src.Slot[i])
+		}
+		for c := 0; c < copies; c++ {
+			dst.Minute[out] = src.Minute[i]
+			dst.Svc[out] = sv
+			if !dst.SkipStart {
+				dst.Start[out] = src.Start[i]
+			}
+			dst.Duration[out] = src.Duration[g]
+			dst.Volume[out] = src.Volume[g]
+			dst.LnV[out] = src.LnV[g]
+			dst.LnD[out] = src.LnD[g]
+			dst.Truncated[out] = src.Truncated[i]
+			out++
+		}
+	}
+	dst.Resize(out)
+	st.emitted.Add(emitted)
+	if lost > 0 {
+		st.lost.Add(lost)
+		d.inj.obsKind.loss.Add(lost)
+	}
+	if gap > 0 {
+		st.unreferenced.Add(gap)
+		d.inj.obsKind.gap.Add(gap)
+	}
+	if misclass > 0 {
+		st.misclassified.Add(misclass)
+		d.inj.obsKind.misclass.Add(misclass)
+	}
+	if dup > 0 {
+		st.duplicated.Add(dup)
+		d.inj.obsKind.dup.Add(dup)
+	}
+}
+
 // geometric draws a geometric variate with the given mean.
 func (d *DayStream) geometric(mean float64) int {
 	if mean <= 1 {

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
-	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/obs"
 	"mobiletraffic/internal/services"
 )
@@ -147,6 +147,13 @@ type Simulator struct {
 	// instrumentation is disabled.
 	obsSessions *obs.Counter
 	obsSplits   *obs.Counter
+	// colsPool recycles the DayColumns scratch the v2 materializing
+	// path samples into; a pool (not a plain field) because GenerateDay
+	// may be called from concurrent workers.
+	colsPool sync.Pool
+	// maxDay is the analytic day-size bound MaxDaySessions returns,
+	// computed once at construction.
+	maxDay int
 }
 
 // NewSimulator builds a simulator over the topology using the full
@@ -201,6 +208,19 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 		obsSessions: obs.CounterOf("netsim_sessions_generated_total"),
 		obsSplits:   obs.CounterOf("netsim_handover_splits_total"),
 	}
+	s.phase = make([]float64, MinutesPerDay)
+	for m := range s.phase {
+		s.phase[m] = DayWeight(m)
+	}
+	s.maxDay = computeMaxDaySessions(topo, c, s.phase)
+	s.colsPool.New = func() any {
+		// Pooled scratch is born pre-sized to the campaign's largest
+		// day so the materializing path never grows it.
+		cols := new(DayColumns)
+		cols.Resize(s.maxDay)
+		cols.Resize(0)
+		return cols
+	}
 	rng := rand.New(rand.NewSource(c.Seed ^ 0x5eed))
 	s.bsProbs = make([][]float64, len(topo.BSs))
 	s.bsAlias = make([]*services.AliasTable, len(topo.BSs))
@@ -220,10 +240,6 @@ func NewSimulatorWithCatalog(topo *Topology, cfg SimConfig, profiles []services.
 			return nil, fmt.Errorf("netsim: BS %d alias table: %w", b, err)
 		}
 		s.bsAlias[b] = tab
-	}
-	s.phase = make([]float64, MinutesPerDay)
-	for m := range s.phase {
-		s.phase[m] = DayWeight(m)
 	}
 	return s, nil
 }
@@ -304,14 +320,14 @@ func (s *Simulator) GenerateDayBatch(bsIdx, day int, buf []Session, yield func([
 		buf = make([]Session, 0, SessionBatchSize)
 	}
 	buf = buf[:0]
-	weekendScale := 1.0
-	if IsWeekend(day) {
-		weekendScale = s.Config.Weekend
-	}
 	if s.Config.Sampler == SamplerV1 {
+		weekendScale := 1.0
+		if IsWeekend(day) {
+			weekendScale = s.Config.Weekend
+		}
 		return s.generateDayV1(bsIdx, day, weekendScale, buf, yield)
 	}
-	return s.generateDayV2(bsIdx, day, weekendScale, buf, yield)
+	return s.generateDayV2(bsIdx, day, buf, yield)
 }
 
 // generateDayV1 is the historical math/rand sampling engine, kept
@@ -386,72 +402,37 @@ func (s *Simulator) generateDayV1(bsIdx, day int, weekendScale float64, buf []Se
 	return nil
 }
 
-// generateDayV2 is the table-driven sampling engine: a stack-resident
-// PCG replaces the per-day rand.Rand allocation, the per-BS alias
-// table replaces the categorical scan, and volume/duration come from
-// the single-Exp log-domain samplers. The stream differs from v1 draw
-// by draw but realizes the same ground-truth distributions
-// (TestSamplerV2StatEquivalence).
-func (s *Simulator) generateDayV2(bsIdx, day int, weekendScale float64, buf []Session, yield func([]Session) error) error {
-	bs := &s.Topo.BSs[bsIdx]
-	var rng mathx.PCG
-	rng.SeedStream(uint64(s.Config.Seed), uint64(bsIdx), uint64(day))
-	alias := s.bsAlias[bsIdx]
-	scaleWeekend := weekendScale != 1
-	moveProb, meanDwell := s.Config.MoveProb, s.Config.MeanDwell
-	var generated, split int64
-	defer func() {
-		s.obsSessions.Add(generated)
-		s.obsSplits.Add(split)
-	}()
-	for minute := 0; minute < MinutesPerDay; minute++ {
-		n := arrivalCountFast(bs, s.phase[minute], &rng)
-		if n == 0 {
-			continue
-		}
-		if scaleWeekend {
-			n = int(math.Round(float64(n) * weekendScale))
-		}
-		minuteStart := float64(minute) * 60
-		for k := 0; k < n; k++ {
-			svc := alias.Pick(rng.Float64())
-			prof := &s.Services[svc]
-			volume, lnV := prof.SampleVolumeLn(&rng)
-			duration := prof.SampleDurationLn(lnV, &rng)
-			truncated := false
-			if rng.Float64() < moveProb {
-				dwell := rng.ExpFloat64() * meanDwell
-				if dwell < 1 {
-					dwell = 1
-				}
-				if dwell < duration {
-					// The BS only sees the dwell-time share of the
-					// session: volume pro-rated on served time.
-					volume *= dwell / duration
-					duration = dwell
-					truncated = true
-				}
+// generateDayV2 is the table-driven sampling engine: the whole day is
+// synthesized by the columnar pipeline (sampleDayColumns — batch draw
+// kernels, per-BS alias table picks, single-Exp log-domain samplers)
+// into a pooled DayColumns scratch and then materialized into Session
+// values batch by batch. The stream differs from v1 draw by draw but
+// realizes the same ground-truth distributions
+// (TestSamplerV2StatEquivalence); it is identical, session for
+// session, to what SampleDayColumns exposes in columnar form.
+func (s *Simulator) generateDayV2(bsIdx, day int, buf []Session, yield func([]Session) error) error {
+	c := s.colsPool.Get().(*DayColumns)
+	defer s.colsPool.Put(c)
+	s.sampleDayColumns(bsIdx, day, c)
+	for i, n := 0, c.N(); i < n; i++ {
+		// Value columns live in grouped order; the session's slot
+		// bridges back to emission order.
+		g := c.Slot[i]
+		buf = append(buf, Session{
+			BS:        bsIdx,
+			Service:   int(c.Svc[i]),
+			Day:       day,
+			Minute:    int(c.Minute[i]),
+			Start:     c.Start[i],
+			Duration:  c.Duration[g],
+			Volume:    c.Volume[g],
+			Truncated: c.Truncated[i],
+		})
+		if len(buf) == cap(buf) {
+			if err := yield(buf); err != nil {
+				return err
 			}
-			generated++
-			if truncated {
-				split++
-			}
-			buf = append(buf, Session{
-				BS:        bsIdx,
-				Service:   svc,
-				Day:       day,
-				Minute:    minute,
-				Start:     minuteStart + rng.Float64()*60,
-				Duration:  duration,
-				Volume:    volume,
-				Truncated: truncated,
-			})
-			if len(buf) == cap(buf) {
-				if err := yield(buf); err != nil {
-					return err
-				}
-				buf = buf[:0]
-			}
+			buf = buf[:0]
 		}
 	}
 	if len(buf) > 0 {

@@ -131,31 +131,107 @@ func (c *Collector) AggregatePairs(filter KeyFilter) (values, counts []float64, 
 // minuteFilter optionally restricts which minutes contribute (e.g.
 // netsim.IsPeakMinute).
 func (c *Collector) MinuteCountSamples(filter KeyFilter, minuteFilter func(int) bool) []float64 {
-	// One accumulator per (BS, day) cell of the dense extent, allocated
-	// lazily for touched cells; emission in ascending (BS, day) order
-	// matches the slab's deterministic iteration.
-	accs := make([][]float64, c.numBS*c.days)
-	c.forEachCell(filter, func(k StatKey, st *DayStats) {
-		ci := k.BS*c.days + k.Day
-		acc := accs[ci]
-		if acc == nil {
-			acc = make([]float64, netsim.MinutesPerDay)
-			accs[ci] = acc
+	out := c.minuteCountGather(filter, []func(int) bool{minuteFilter})
+	if out == nil {
+		return nil
+	}
+	return out[0]
+}
+
+// MinuteCountSamplePair gathers two minute-filtered sample vectors
+// (e.g. peak and off-peak minutes) over the same cell filter in a
+// single accumulation pass, instead of re-summing the per-service
+// minute counts once per vector. Each returned slice is bit-identical
+// to the corresponding MinuteCountSamples call.
+func (c *Collector) MinuteCountSamplePair(filter KeyFilter, fa, fb func(int) bool) (a, b []float64) {
+	out := c.minuteCountGather(filter, []func(int) bool{fa, fb})
+	if out == nil {
+		return nil, nil
+	}
+	return out[0], out[1]
+}
+
+// minuteCountGather walks the cells one (BS, day) at a time through a
+// single minute accumulator: services sum in ascending catalog order
+// (the same per-cell order forEachCell yields, so sums are
+// bit-identical to the historical per-cell-accumulator layout) and
+// each cell emits — once per minute filter — before the next begins,
+// in ascending (BS, day) order. A counting pre-pass sizes each output
+// exactly (matching minutes times touched cells), so the gather
+// allocates once per filter, with no append growth and no per-cell
+// accumulators. A nil filter entry keeps every minute. Returns nil
+// when no cell matches.
+func (c *Collector) minuteCountGather(filter KeyFilter, minuteFilters []func(int) bool) [][]float64 {
+	nm := make([]int, len(minuteFilters))
+	for f, mf := range minuteFilters {
+		for m := 0; m < netsim.MinutesPerDay; m++ {
+			if mf == nil || mf(m) {
+				nm[f]++
+			}
 		}
-		for m, v := range st.MinuteCounts {
-			acc[m] += v
-		}
-	})
-	var out []float64
-	for _, acc := range accs {
-		if acc == nil {
-			continue
-		}
-		for m, v := range acc {
-			if minuteFilter != nil && !minuteFilter(m) {
+	}
+	stride := c.numBS * c.days
+	touches := func(bs, day, base int) bool {
+		for svc := 0; svc < c.NumServices; svc++ {
+			if c.cells[svc*stride+base] == nil {
 				continue
 			}
-			out = append(out, v)
+			if filter != nil && !filter(StatKey{Service: svc, BS: bs, Day: day}) {
+				continue
+			}
+			return true
+		}
+		return false
+	}
+	touched := 0
+	for bs := 0; bs < c.numBS; bs++ {
+		for day := 0; day < c.days; day++ {
+			if touches(bs, day, bs*c.days+day) {
+				touched++
+			}
+		}
+	}
+	if touched == 0 {
+		return nil
+	}
+	acc := make([]float64, netsim.MinutesPerDay)
+	out := make([][]float64, len(minuteFilters))
+	for f := range out {
+		out[f] = make([]float64, 0, touched*nm[f])
+	}
+	for bs := 0; bs < c.numBS; bs++ {
+		for day := 0; day < c.days; day++ {
+			base := bs*c.days + day
+			first := true
+			for svc := 0; svc < c.NumServices; svc++ {
+				st := c.cells[svc*stride+base]
+				if st == nil {
+					continue
+				}
+				if filter != nil && !filter(StatKey{Service: svc, BS: bs, Day: day}) {
+					continue
+				}
+				if first {
+					first = false
+					for m := range acc {
+						acc[m] = 0
+					}
+				}
+				for m, v := range st.MinuteCounts {
+					acc[m] += v
+				}
+			}
+			if first {
+				continue
+			}
+			for f, mf := range minuteFilters {
+				for m, v := range acc {
+					if mf != nil && !mf(m) {
+						continue
+					}
+					out[f] = append(out[f], v)
+				}
+			}
 		}
 	}
 	return out

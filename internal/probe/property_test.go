@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"mobiletraffic/internal/dist"
+	"mobiletraffic/internal/faults"
 	"mobiletraffic/internal/mathx"
 	"mobiletraffic/internal/netsim"
 )
@@ -376,4 +377,225 @@ func TestObserveZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("Observe allocates %v times per session in steady state, want 0", allocs)
 	}
+}
+
+// replayColumnsScalar folds one (BS, day) of columnar sessions into a
+// collector one session at a time through the scalar Observe path —
+// the reference formulation ObserveColumns must match cell for cell.
+// Value columns are read through the grouped slot map when the
+// grouping is populated, exactly as netsim materializes sessions.
+func replayColumnsScalar(t *testing.T, c *Collector, bs, day, numSvc int, cols *netsim.DayColumns) {
+	t.Helper()
+	grouped := cols.Grouped(numSvc)
+	for i := 0; i < cols.N(); i++ {
+		g := i
+		if grouped {
+			g = int(cols.Slot[i])
+		}
+		s := netsim.Session{
+			BS:       bs,
+			Day:      day,
+			Service:  int(cols.Svc[i]),
+			Minute:   int(cols.Minute[i]),
+			Volume:   cols.Volume[g],
+			Duration: cols.Duration[g],
+		}
+		if err := c.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// requireCellsEqual asserts two collectors hold bitwise-identical
+// statistics: same keys, and per cell the same session count, minute
+// counts, volume histogram and duration-binned accumulators.
+func requireCellsEqual(t *testing.T, label string, got, want *Collector) {
+	t.Helper()
+	if g, w := got.TotalSessions(), want.TotalSessions(); g != w {
+		t.Fatalf("%s: TotalSessions = %v, scalar replay %v", label, g, w)
+	}
+	gotKeys, wantKeys := got.Keys(), want.Keys()
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("%s: %d cells, scalar replay %d", label, len(gotKeys), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if gotKeys[i] != k {
+			t.Fatalf("%s: key %d = %+v, scalar replay %+v", label, i, gotKeys[i], k)
+		}
+		g, _ := got.Get(k)
+		w, _ := want.Get(k)
+		if g.Sessions != w.Sessions ||
+			!equalFloats(g.MinuteCounts, w.MinuteCounts) ||
+			!equalFloats(g.Volume.P, w.Volume.P) ||
+			!equalFloats(g.DurVolSum, w.DurVolSum) ||
+			!equalFloats(g.DurCount, w.DurCount) {
+			t.Fatalf("%s: cell %+v differs from scalar replay", label, k)
+		}
+	}
+}
+
+// newOracleSim builds a small v2 simulator whose columnar output (with
+// mobility truncation and the by-service grouping) drives the
+// ObserveColumns oracle tests.
+func newOracleSim(t *testing.T, numBS, days int, seed int64) *netsim.Simulator {
+	t.Helper()
+	topo, err := netsim.NewTopology(netsim.TopologyConfig{NumBS: numBS, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netsim.NewSimulator(topo, netsim.SimConfig{Days: days, Seed: seed, Sampler: netsim.SamplerV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestObserveColumnsMatchesScalarOracle replays every (BS, day) column
+// of a small campaign through ObserveColumns and, session by session,
+// through the scalar Observe path, and requires the resulting
+// statistics to be cell-for-cell bitwise identical — the contract that
+// lets the columnar ingest replace the scalar fold. Covers the grouped
+// fast path (sampler columns carry SvcSeg/ByService/Slot/MinuteG) on
+// the default uniform grids.
+func TestObserveColumnsMatchesScalarOracle(t *testing.T) {
+	const numBS, days = 10, 2
+	sim := newOracleSim(t, numBS, days, 17)
+	numSvc := len(sim.Services)
+	colsColl, err := NewCollectorSized(numSvc, numBS, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalColl, err := NewCollectorSized(numSvc, numBS, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols netsim.DayColumns
+	for bs := 0; bs < numBS; bs++ {
+		for day := 0; day < days; day++ {
+			if err := sim.SampleDayColumns(bs, day, &cols); err != nil {
+				t.Fatal(err)
+			}
+			if !cols.Grouped(numSvc) {
+				t.Fatalf("bs %d day %d: sampler columns are not grouped", bs, day)
+			}
+			if err := colsColl.ObserveColumns(bs, day, &cols); err != nil {
+				t.Fatal(err)
+			}
+			replayColumnsScalar(t, scalColl, bs, day, numSvc, &cols)
+		}
+	}
+	requireCellsEqual(t, "grouped uniform", colsColl, scalColl)
+}
+
+// TestObserveColumnsNonUniformGridMatchesScalar repeats the oracle
+// comparison on a deliberately non-uniform duration grid, driving the
+// binary-search binning fallback of the grouped fold.
+func TestObserveColumnsNonUniformGridMatchesScalar(t *testing.T) {
+	const numBS, days = 10, 2
+	durEdges := []float64{0, 0.3, 1, 2.5, 5} // log10 seconds, non-uniform
+	sim := newOracleSim(t, numBS, days, 29)
+	numSvc := len(sim.Services)
+	colsColl, err := NewCollectorGrids(numSvc, numBS, days, DefaultVolumeEdges, durEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalColl, err := NewCollectorGrids(numSvc, numBS, days, DefaultVolumeEdges, durEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols netsim.DayColumns
+	for bs := 0; bs < numBS; bs++ {
+		for day := 0; day < days; day++ {
+			if err := sim.SampleDayColumns(bs, day, &cols); err != nil {
+				t.Fatal(err)
+			}
+			if err := colsColl.ObserveColumns(bs, day, &cols); err != nil {
+				t.Fatal(err)
+			}
+			replayColumnsScalar(t, scalColl, bs, day, numSvc, &cols)
+		}
+	}
+	requireCellsEqual(t, "non-uniform grid", colsColl, scalColl)
+}
+
+// TestObserveColumnsFaultedMatchesScalar pushes the sampler columns
+// through a per-(BS, day) fault stream before collection — once
+// columnar (ApplyColumns then ObserveColumns, the collectBS wiring)
+// and once scalar (the same deterministic DayStream applied session
+// by session into Observe) — and requires identical statistics. The
+// faulted columns drop the grouping, so this also exercises the
+// session-order ingest path.
+func TestObserveColumnsFaultedMatchesScalar(t *testing.T) {
+	const numBS, days = 10, 2
+	cfg := faults.Config{
+		OutageProb: 0.1, TruncatedDayProb: 0.2, FlowLossProb: 0.1,
+		FlowDupProb: 0.05, SignalGapProb: 0.05, MisclassProb: 0.05, Seed: 23,
+	}
+	sim := newOracleSim(t, numBS, days, 31)
+	numSvc := len(sim.Services)
+	injCols, err := faults.New(cfg, numSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injScal, err := faults.New(cfg, numSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colsColl, err := NewCollectorSized(numSvc, numBS, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalColl, err := NewCollectorSized(numSvc, numBS, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols, faulted netsim.DayColumns
+	downDays := 0
+	for bs := 0; bs < numBS; bs++ {
+		for day := 0; day < days; day++ {
+			stream := injCols.Day(bs, day)
+			if stream.Down() {
+				downDays++
+				continue
+			}
+			if err := sim.SampleDayColumns(bs, day, &cols); err != nil {
+				t.Fatal(err)
+			}
+			stream.ApplyColumns(&cols, &faulted)
+			if faulted.Grouped(numSvc) {
+				t.Fatalf("bs %d day %d: fault-filtered columns must drop the grouping", bs, day)
+			}
+			if err := colsColl.ObserveColumns(bs, day, &faulted); err != nil {
+				t.Fatal(err)
+			}
+
+			// Scalar reference: the same deterministic day stream,
+			// applied in session order over the materialized sessions.
+			ref := injScal.Day(bs, day)
+			grouped := cols.Grouped(numSvc)
+			for i := 0; i < cols.N(); i++ {
+				g := i
+				if grouped {
+					g = int(cols.Slot[i])
+				}
+				s := netsim.Session{
+					BS:       bs,
+					Day:      day,
+					Service:  int(cols.Svc[i]),
+					Minute:   int(cols.Minute[i]),
+					Volume:   cols.Volume[g],
+					Duration: cols.Duration[g],
+				}
+				ref.Apply(s, func(out netsim.Session) {
+					if err := scalColl.Observe(out); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+	if downDays == 0 || downDays == numBS*days {
+		t.Fatalf("fault config produced %d down days of %d; the test needs a mix", downDays, numBS*days)
+	}
+	requireCellsEqual(t, "faulted session-order", colsColl, scalColl)
 }

@@ -72,7 +72,8 @@ type binner struct {
 	n       int // bins = len(edges)-1
 	uniform bool
 	lo      float64
-	invW    float64 // bins per domain unit on the uniform path
+	invW    float64   // bins per domain unit on the uniform path
+	thr     []float64 // linear thresholds: thr[j] = min x with Log10(Max(x,1)) >= edges[j]
 }
 
 func newBinner(edges []float64) binner {
@@ -91,7 +92,53 @@ func newBinner(edges []float64) binner {
 			break
 		}
 	}
+	b.thr = make([]float64, n+1)
+	for i := range b.thr {
+		b.thr[i] = linThr(edges[i])
+	}
 	return b
+}
+
+// linThr returns the smallest non-negative float64 x satisfying
+// Log10(Max(x, 1)) >= e, found by bisecting the float bit ordering
+// (non-negative float64s compare exactly like their bit patterns).
+// Comparing a linear value v against these thresholds bins it exactly
+// as binning Log10(Max(v, 1)) against the log-space edges would —
+// Log10 is monotone, so {v : Log10(Max(v,1)) >= e} is [thr, inf) —
+// without a per-sample transcendental call. The oracle property test
+// pins the equivalence against the scalar Observe path.
+func linThr(e float64) float64 {
+	if e <= 0 {
+		return 0 // Log10(Max(x,1)) >= 0 for every x
+	}
+	if math.Log10(math.MaxFloat64) < e {
+		return math.Inf(1) // unreachable edge: no finite x qualifies
+	}
+	lo, hi := uint64(0), math.Float64bits(math.MaxFloat64)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if math.Log10(math.Max(math.Float64frombits(mid), 1)) >= e {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return math.Float64frombits(lo)
+}
+
+// approxLog10 estimates Log10(Max(x, 1)) for x >= 0 from the float
+// bit pattern alone — exponent plus a linear mantissa term — within
+// ~0.026 (always from below), close enough to seed a bin guess that
+// one threshold-settle step then makes exact.
+func approxLog10(x float64) float64 {
+	bits := math.Float64bits(x)
+	e := float64(int((bits>>52)&0x7ff) - 1023)
+	m := float64(bits&(1<<52-1)) * (1.0 / (1 << 52))
+	lg := (e + m) * 0.30102999566398
+	if lg < 0 {
+		return 0
+	}
+	return lg
 }
 
 func (b *binner) bin(x float64) int {
@@ -155,8 +202,12 @@ type Collector struct {
 	// obsFlows[svc] counts the sessions folded in per service
 	// (probe_flows_tracked_total{service=...}); handles are resolved
 	// once at construction so Observe never does a metric lookup, and
-	// are nil (free) when instrumentation is disabled.
-	obsFlows []*obs.Counter
+	// are nil (free) when instrumentation is disabled. flowScratch is
+	// ObserveColumns' per-service tally buffer (lazily allocated once),
+	// so the columnar path batches one Add per touched service instead
+	// of one per session.
+	obsFlows    []*obs.Counter
+	flowScratch []int64
 }
 
 // NewCollector returns a Collector over the default measurement grids.
@@ -326,6 +377,344 @@ func (c *Collector) ObserveBatch(batch []netsim.Session) error {
 		}
 	}
 	return nil
+}
+
+// ObserveColumns folds one (BS, day) of columnar sessions — the
+// Minute/Svc/Volume/Duration columns of a netsim.DayColumns — into the
+// statistics. It is the columnar counterpart of Observe with the
+// per-session overhead hoisted out of the loop: the slab is grown
+// once, the cell address is an index computation off a precomputed
+// base, and on uniform grids (the default) the log10 binning runs
+// inline with the O(1) multiplicative path; non-uniform grids keep the
+// binary-search fallback. When the columns carry the sampler's
+// by-service grouping (SvcSeg/ByService/Slot, with the value columns
+// in grouped order), the fold runs one service segment at a time:
+// exactly one cell's accumulators are hot while its sessions fold, and
+// the volume/duration reads stream a contiguous segment. Without a
+// grouping (fault-filtered columns re-map services and emit session
+// order) every session resolves its cell individually. Either way the
+// statistics are cell-for-cell identical to observing the same
+// sessions one by one in column order
+// (TestObserveColumnsMatchesScalarOracle) — including the
+// floating-point accumulation order, since sessions of one cell fold
+// in the same relative order under the stable grouping.
+//
+// The grouping is trusted to describe Svc and the value-column layout
+// (netsim maintains both); ObserveColumns verifies only its structural
+// invariants and falls back to the ungrouped fold when they do not
+// hold. Unlike Observe/ObserveBatch, the columns are validated up
+// front and nothing is folded when any session is invalid.
+func (c *Collector) ObserveColumns(bs, day int, cols *netsim.DayColumns) error {
+	if cols == nil {
+		return fmt.Errorf("probe: nil DayColumns")
+	}
+	minute, svc := cols.Minute, cols.Svc
+	volume, duration := cols.Volume, cols.Duration
+	n := len(minute)
+	if len(svc) != n || len(volume) != n || len(duration) != n {
+		return fmt.Errorf("probe: column lengths differ (minute %d, svc %d, volume %d, duration %d)",
+			n, len(svc), len(volume), len(duration))
+	}
+	if bs < 0 || day < 0 {
+		return fmt.Errorf("probe: session cell (%d, %d) out of range", bs, day)
+	}
+	nSvc := int32(c.NumServices)
+	for i := 0; i < n; i++ {
+		if svc[i] < 0 || svc[i] >= nSvc {
+			return fmt.Errorf("probe: session service %d out of range [0, %d)", svc[i], c.NumServices)
+		}
+		if minute[i] < 0 || minute[i] >= netsim.MinutesPerDay {
+			return fmt.Errorf("probe: session minute %d out of range", minute[i])
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	c.ensure(bs, day)
+	base := bs*c.days + day
+	stride := c.numBS * c.days
+	cells := c.cells
+
+	// A grouped minute column (MinuteG) makes every fold read
+	// sequential — that path needs only the segment offsets, not the
+	// per-slot ByService scan. Without MinuteG the fold gathers minutes
+	// through the grouping, which is then validated in full. MinuteG
+	// entries are range-checked here because the up-front validation
+	// loop only covers Minute.
+	seg, by, mg := cols.SvcSeg, cols.ByService, cols.MinuteG
+	useSeq := len(mg) == n && len(by) == n && len(cols.Slot) == n && c.segValid(seg, n)
+	if useSeq {
+		for i := 0; i < n; i++ {
+			if mg[i] < 0 || mg[i] >= netsim.MinutesPerDay {
+				return fmt.Errorf("probe: grouped session minute %d out of range", mg[i])
+			}
+		}
+	}
+	if useSeq || c.groupingValid(seg, by, n) {
+		for sv := 0; sv < c.NumServices; sv++ {
+			lo, hi := int(seg[sv]), int(seg[sv+1])
+			if lo == hi {
+				continue
+			}
+			slot := sv*stride + base
+			st := cells[slot]
+			if st == nil {
+				st = c.newCell()
+				cells[slot] = st
+			}
+			// One float64 += per session and an integer-valued start
+			// keep the sum exact, so the bulk add equals n increments.
+			st.Sessions += float64(hi - lo)
+			if useSeq {
+				c.foldCellSeq(st, mg[lo:hi], volume[lo:hi], duration[lo:hi])
+			} else {
+				c.foldCell(st, by[lo:hi], minute, volume[lo:hi], duration[lo:hi])
+			}
+			if c.obsFlows != nil {
+				c.obsFlows[sv].Add(int64(hi - lo))
+			}
+		}
+		return nil
+	}
+
+	if c.volBinner.uniform && c.durBinner.uniform {
+		// Threshold binning, as in foldCell: exponent-derived guess
+		// settled against linear edge thresholds — exactly binner.bin's
+		// semantics (the oracle property test pins the equivalence).
+		vThr, vN, vLo, vInvW := c.volBinner.thr, c.volBinner.n, c.volBinner.lo, c.volBinner.invW
+		dThr, dN, dLo, dInvW := c.durBinner.thr, c.durBinner.n, c.durBinner.lo, c.durBinner.invW
+		for i := 0; i < n; i++ {
+			slot := int(svc[i])*stride + base
+			st := cells[slot]
+			if st == nil {
+				st = c.newCell()
+				cells[slot] = st
+			}
+			st.MinuteCounts[minute[i]]++
+			st.Sessions++
+			v := volume[i]
+			vb := int((approxLog10(v) - vLo) * vInvW)
+			if vb < 0 {
+				vb = 0
+			} else if vb > vN-1 {
+				vb = vN - 1
+			}
+			for vb > 0 && v < vThr[vb] {
+				vb--
+			}
+			for vb < vN-1 && v >= vThr[vb+1] {
+				vb++
+			}
+			st.Volume.P[vb]++
+			d := duration[i]
+			db := int((approxLog10(d) - dLo) * dInvW)
+			if db < 0 {
+				db = 0
+			} else if db > dN-1 {
+				db = dN - 1
+			}
+			for db > 0 && d < dThr[db] {
+				db--
+			}
+			for db < dN-1 && d >= dThr[db+1] {
+				db++
+			}
+			st.DurVolSum[db] += v
+			st.DurCount[db]++
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			slot := int(svc[i])*stride + base
+			st := cells[slot]
+			if st == nil {
+				st = c.newCell()
+				cells[slot] = st
+			}
+			st.MinuteCounts[minute[i]]++
+			st.Sessions++
+			v := volume[i]
+			st.Volume.P[c.volBinner.bin(math.Log10(math.Max(v, 1)))]++
+			db := c.durBinner.bin(math.Log10(math.Max(duration[i], 1)))
+			st.DurVolSum[db] += v
+			st.DurCount[db]++
+		}
+	}
+	if c.obsFlows != nil {
+		if c.flowScratch == nil {
+			c.flowScratch = make([]int64, c.NumServices)
+		}
+		counts := c.flowScratch
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			counts[svc[i]]++
+		}
+		for s, k := range counts {
+			if k != 0 {
+				c.obsFlows[s].Add(k)
+			}
+		}
+	}
+	return nil
+}
+
+// groupingValid checks the structural invariants of a by-service
+// grouping over n sessions: one segment per collector service, offsets
+// monotone from 0 to n, and every grouped slot holding an in-range
+// session index. Content consistency (Svc[ByService[g]] matching the
+// segment's service, value columns stored in grouped order) is the
+// producer's contract, pinned by the oracle property tests rather than
+// re-verified per fold.
+func (c *Collector) groupingValid(seg, by []int32, n int) bool {
+	if !c.segValid(seg, n) || len(by) != n {
+		return false
+	}
+	for _, g := range by {
+		if g < 0 || int(g) >= n {
+			return false
+		}
+	}
+	return true
+}
+
+// segValid checks the segment-offset invariants alone: one segment per
+// collector service, offsets monotone from 0 to n. The grouped-minute
+// fold path needs only these (it never indexes through ByService), so
+// it skips the per-slot scan of groupingValid.
+func (c *Collector) segValid(seg []int32, n int) bool {
+	if len(seg) != c.NumServices+1 {
+		return false
+	}
+	if seg[0] != 0 || int(seg[len(seg)-1]) != n {
+		return false
+	}
+	for i := 1; i < len(seg); i++ {
+		if seg[i] < seg[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// foldCellSeq folds one service segment whose minute, volume and
+// duration slices are all in grouped order — every read streams
+// sequentially, no gather. Accumulation order and binning are
+// identical to foldCell (same sessions, same relative order under the
+// stable grouping).
+func (c *Collector) foldCellSeq(st *DayStats, minute []int32, volume, duration []float64) {
+	mc := st.MinuteCounts
+	vp, dv, dc := st.Volume.P, st.DurVolSum, st.DurCount
+	volume = volume[:len(minute)]
+	duration = duration[:len(minute)]
+	if c.volBinner.uniform && c.durBinner.uniform {
+		vThr, vN, vLo, vInvW := c.volBinner.thr, c.volBinner.n, c.volBinner.lo, c.volBinner.invW
+		dThr, dN, dLo, dInvW := c.durBinner.thr, c.durBinner.n, c.durBinner.lo, c.durBinner.invW
+		for k, m := range minute {
+			mc[m]++
+			v := volume[k]
+			vb := int((approxLog10(v) - vLo) * vInvW)
+			if vb < 0 {
+				vb = 0
+			} else if vb > vN-1 {
+				vb = vN - 1
+			}
+			for vb > 0 && v < vThr[vb] {
+				vb--
+			}
+			for vb < vN-1 && v >= vThr[vb+1] {
+				vb++
+			}
+			vp[vb]++
+			d := duration[k]
+			db := int((approxLog10(d) - dLo) * dInvW)
+			if db < 0 {
+				db = 0
+			} else if db > dN-1 {
+				db = dN - 1
+			}
+			for db > 0 && d < dThr[db] {
+				db--
+			}
+			for db < dN-1 && d >= dThr[db+1] {
+				db++
+			}
+			dv[db] += v
+			dc[db]++
+		}
+		return
+	}
+	for k, m := range minute {
+		mc[m]++
+		v := volume[k]
+		vp[c.volBinner.bin(math.Log10(math.Max(v, 1)))]++
+		db := c.durBinner.bin(math.Log10(math.Max(duration[k], 1)))
+		dv[db] += v
+		dc[db]++
+	}
+}
+
+// foldCell folds one grouped segment into a single cell's accumulators
+// — MinuteCounts, volume histogram and duration-binned sums all stay
+// cache-hot across the whole segment. seg holds the segment's session
+// indices (for the minute lookup); volume and duration are the
+// segment's contiguous slices of the grouped value columns, streamed
+// sequentially. Binning matches binner.bin exactly.
+func (c *Collector) foldCell(st *DayStats, seg, minute []int32, volume, duration []float64) {
+	mc := st.MinuteCounts
+	vp, dv, dc := st.Volume.P, st.DurVolSum, st.DurCount
+	volume = volume[:len(seg)]
+	duration = duration[:len(seg)]
+	if c.volBinner.uniform && c.durBinner.uniform {
+		// Threshold binning: an exponent-derived guess settled against
+		// precomputed linear edge thresholds (see linThr) — the same bin
+		// Log10-space binning yields, with zero transcendental calls in
+		// the loop. The guess underestimates by well under a bin width,
+		// so each settle loop runs at most one step.
+		vThr, vN, vLo, vInvW := c.volBinner.thr, c.volBinner.n, c.volBinner.lo, c.volBinner.invW
+		dThr, dN, dLo, dInvW := c.durBinner.thr, c.durBinner.n, c.durBinner.lo, c.durBinner.invW
+		for k, g := range seg {
+			mc[minute[g]]++
+			v := volume[k]
+			vb := int((approxLog10(v) - vLo) * vInvW)
+			if vb < 0 {
+				vb = 0
+			} else if vb > vN-1 {
+				vb = vN - 1
+			}
+			for vb > 0 && v < vThr[vb] {
+				vb--
+			}
+			for vb < vN-1 && v >= vThr[vb+1] {
+				vb++
+			}
+			vp[vb]++
+			d := duration[k]
+			db := int((approxLog10(d) - dLo) * dInvW)
+			if db < 0 {
+				db = 0
+			} else if db > dN-1 {
+				db = dN - 1
+			}
+			for db > 0 && d < dThr[db] {
+				db--
+			}
+			for db < dN-1 && d >= dThr[db+1] {
+				db++
+			}
+			dv[db] += v
+			dc[db]++
+		}
+		return
+	}
+	for k, g := range seg {
+		mc[minute[g]]++
+		v := volume[k]
+		vp[c.volBinner.bin(math.Log10(math.Max(v, 1)))]++
+		db := c.durBinner.bin(math.Log10(math.Max(duration[k], 1)))
+		dv[db] += v
+		dc[db]++
+	}
 }
 
 // TotalSessions returns the number of sessions observed across every

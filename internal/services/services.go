@@ -278,6 +278,103 @@ func (p *Profile) SampleDurationLn(lnV float64, rng *mathx.PCG) float64 {
 	return math.Exp(x)
 }
 
+// SampleVolumeLnBatch is the columnar form of SampleVolumeLn: it fills
+// v and lnV for len(v) sessions of this service in one pass, drawing
+// the component-selection uniforms and the log-normal deviates as two
+// whole rectangles from the lane-split batch kernels (FillFloat64 then
+// FillNorm) instead of interleaving two scalar draws per session. u and
+// z are caller scratch of at least len(v) elements; their contents are
+// overwritten. Each element realizes exactly the SampleVolumeLn
+// mixture — same component selection, same ln-domain clamp — but the
+// rectangular draw layout consumes the RNG stream in a different order
+// than a loop of scalar calls would (the sampler-v2 stream contract
+// only pins determinism and the realized distributions, not the draw
+// mapping). Requires Precompute; falls back to the closed-form terms on
+// a raw Profile literal.
+func (p *Profile) SampleVolumeLnBatch(rng *mathx.PCG, u, z, v, lnV []float64) {
+	k := len(v)
+	u, z, lnV = u[:k], z[:k], lnV[:k]
+	rng.FillFloat64(u)
+	rng.FillNorm(z)
+	mixTotal, peaks := p.mixTotal, p.peaksLn
+	muLn, sigLn := p.mainMuLn, p.mainSigLn
+	if mixTotal == 0 {
+		muLn, sigLn = p.MainMu*math.Ln10, p.MainSigma*math.Ln10
+		mixTotal = 1
+		peaks = make([]peakLn, len(p.Peaks))
+		for i, pk := range p.Peaks {
+			mixTotal += pk.Weight
+			peaks[i] = peakLn{w: pk.Weight, mu: pk.Mu * math.Ln10, sigma: pk.Sigma * math.Ln10}
+		}
+	}
+	if len(peaks) == 0 {
+		// Single-component profile: the mixture select is vacuous (the
+		// coin is still drawn, as in the scalar path) and the loop is
+		// branch-free up to the clamp.
+		for i := 0; i < k; i++ {
+			x := muLn + sigLn*z[i]
+			if x >= lnMaxSessionVolume {
+				v[i], lnV[i] = MaxSessionVolume, lnMaxSessionVolume
+				continue
+			}
+			v[i], lnV[i] = math.Exp(x), x
+		}
+		return
+	}
+	for i := 0; i < k; i++ {
+		m, sg := muLn, sigLn
+		if uu := u[i] * mixTotal; uu >= 1 {
+			uu -= 1
+			for _, pk := range peaks {
+				if uu < pk.w {
+					m, sg = pk.mu, pk.sigma
+					break
+				}
+				uu -= pk.w
+			}
+			// Rounding leftovers past the last peak keep the main
+			// component, mirroring SampleVolumeLn.
+		}
+		x := m + sg*z[i]
+		if x >= lnMaxSessionVolume {
+			v[i], lnV[i] = MaxSessionVolume, lnMaxSessionVolume
+			continue
+		}
+		v[i], lnV[i] = math.Exp(x), x
+	}
+}
+
+// SampleDurationLnBatch is the columnar form of SampleDurationLn: for
+// each session volume in lnV it fills the duration in seconds (d) and
+// its natural log (lnD), drawing the log-normal noise deviates as one
+// FillNorm rectangle into the caller scratch z (at least len(d)
+// elements, overwritten). The clamp semantics match SampleDurationLn
+// exactly: x <= 0 yields (1, 0) and x >= ln 86400 yields (86400,
+// ln 86400), both skipping the Exp. Requires Precompute; falls back to
+// the closed-form terms on a raw Profile literal.
+func (p *Profile) SampleDurationLnBatch(rng *mathx.PCG, lnV, z, d, lnD []float64) {
+	k := len(d)
+	lnV, z, lnD = lnV[:k], z[:k], lnD[:k]
+	rng.FillNorm(z)
+	ib, lnA, noise := p.invBeta, p.lnAlpha, p.durNoiseLn
+	if p.mixTotal == 0 {
+		ib = 1 / p.Beta
+		lnA = math.Log(p.Alpha())
+		noise = p.DurationNoise * math.Ln10
+	}
+	for i := 0; i < k; i++ {
+		x := ib*(lnV[i]-lnA) + noise*z[i]
+		switch {
+		case x <= 0: // d < 1 s
+			d[i], lnD[i] = 1, 0
+		case x >= lnMaxDuration: // d > 24 h
+			d[i], lnD[i] = 24*3600, lnMaxDuration
+		default:
+			d[i], lnD[i] = math.Exp(x), x
+		}
+	}
+}
+
 // VolumeLogPDF evaluates the ground-truth volume density over
 // u = log10(bytes): the normalized mixture of Gaussian components.
 func (p *Profile) VolumeLogPDF(u float64) float64 {

@@ -8,7 +8,7 @@ import (
 )
 
 func TestFitFromSimulationAndGenerate(t *testing.T) {
-	set, err := FitFromSimulation(SimulationConfig{NumBS: 12, Days: 2, Seed: 3})
+	set, err := FitFromSimulation(SimulationConfig{NumBS: 12, Days: 3, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestFitFromSimulationFaulty(t *testing.T) {
 		t.Skip("simulation-heavy")
 	}
 	set, report, err := FitFromSimulationFaulty(
-		SimulationConfig{NumBS: 12, Days: 2, Seed: 3},
+		SimulationConfig{NumBS: 12, Days: 3, Seed: 3},
 		FaultConfig{
 			OutageProb: 0.2, TruncatedDayProb: 0.1, FlowLossProb: 0.05,
 			FlowDupProb: 0.02, SignalGapProb: 0.03, MisclassProb: 0.02, Seed: 9,
@@ -157,11 +157,11 @@ func TestFitFromSimulationFaulty(t *testing.T) {
 		t.Errorf("fault-fitted set must still validate: %v", err)
 	}
 	// A pristine fault config must reproduce FitFromSimulation exactly.
-	clean, cleanReport, err := FitFromSimulationFaulty(SimulationConfig{NumBS: 12, Days: 2, Seed: 3}, FaultConfig{})
+	clean, cleanReport, err := FitFromSimulationFaulty(SimulationConfig{NumBS: 12, Days: 3, Seed: 3}, FaultConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := FitFromSimulation(SimulationConfig{NumBS: 12, Days: 2, Seed: 3})
+	direct, err := FitFromSimulation(SimulationConfig{NumBS: 12, Days: 3, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
